@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Table I: dump the baseline architecture parameters the simulator
+ * actually instantiates (validated against the paper in tests).
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    std::cout << "=== Table I: baseline architecture parameters ===\n";
+    bwsim::exp::tab1BaselineConfig().print(std::cout);
+    return 0;
+}

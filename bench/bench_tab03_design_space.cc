@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Table III: the consolidated design space -- baseline, scaled (4x)
+ * and cost-effective values of every Type '=' / Type '+' parameter.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    std::cout << "=== Table III: consolidated design space ===\n";
+    bwsim::exp::tab3DesignSpace().print(std::cout);
+    return 0;
+}

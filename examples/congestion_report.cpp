@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Congestion report: the paper's §IV diagnosis for one benchmark in a
+ * single run -- where the stalls are (core, L1, L2), how full the L2
+ * and DRAM access queues run, and what that does to latency.
+ *
+ * Usage: congestion_report [benchmark]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/dse.hh"
+#include "gpu/gpu.hh"
+#include "stats/table.hh"
+
+using namespace bwsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "mm";
+    const BenchmarkProfile *prof = findBenchmark(bench);
+    if (!prof) {
+        std::cerr << "unknown benchmark '" << bench << "'\n";
+        return 1;
+    }
+
+    std::cout << "Diagnosing '" << bench
+              << "' on the baseline GTX 480 model...\n";
+    SimResult r = runOne(*prof, GpuConfig::baseline());
+
+    std::cout << "\n[1] Core view (Fig. 1 / Fig. 7): the cores stall "
+              << csprintf("%.0f%%", r.issueStallFrac * 100)
+              << " of the time\n";
+    stats::TextTable core({"cause", "share of stalls"});
+    for (unsigned i = 0; i < numIssueStallCauses; ++i)
+        core.newRow()
+            .add(issueStallName(static_cast<IssueStall>(i)))
+            .addPct(r.issueStallDist[i]);
+    core.print(std::cout);
+
+    std::cout << "\n[2] Latency view (Fig. 1): AML "
+              << csprintf("%.0f", r.aml) << " cycles, L2 hits take "
+              << csprintf("%.0f", r.l2Ahl)
+              << " (uncongested would be ~120)\n";
+
+    std::cout << "\n[3] L1 view (Fig. 9): why the L1 pipeline stalls\n";
+    stats::TextTable l1({"cause", "share"});
+    l1.newRow().add("cache (line alloc)").addPct(
+        r.l1StallDist[unsigned(CacheStallCause::LineAlloc)]);
+    l1.newRow().add("mshr").addPct(
+        r.l1StallDist[unsigned(CacheStallCause::MshrFull)]);
+    l1.newRow().add("bp-L2 (miss queue)").addPct(
+        r.l1StallDist[unsigned(CacheStallCause::MissQueueFull)]);
+    l1.print(std::cout);
+
+    std::cout << "\n[4] L2 view (Fig. 8): why the L2 banks stall\n";
+    stats::TextTable l2({"cause", "share"});
+    const char *names[5] = {"bp-ICNT (response queue)", "port", "cache",
+                            "mshr", "bp-DRAM (miss queue)"};
+    for (unsigned i = 0; i < numCacheStallCauses; ++i)
+        l2.newRow().add(names[i]).addPct(r.l2StallDist[i]);
+    l2.print(std::cout);
+
+    std::cout << "\n[5] Queue view (Figs. 4/5): occupancy over usage "
+                 "lifetime\n";
+    stats::TextTable q({"queue", "(0-25%)", "[25-50%)", "[50-75%)",
+                        "[75-100%)", "100%"});
+    q.newRow().add("L2 access");
+    for (unsigned b = 0; b < stats::numOccBands; ++b)
+        q.addPct(r.l2AccessQueueOcc[b]);
+    q.newRow().add("DRAM sched");
+    for (unsigned b = 0; b < stats::numOccBands; ++b)
+        q.addPct(r.dramQueueOcc[b]);
+    q.print(std::cout);
+
+    std::cout << "\n[6] DRAM view (§IV-B1): bandwidth efficiency "
+              << csprintf("%.0f%%", r.dramEfficiency * 100)
+              << ", row-hit rate "
+              << csprintf("%.0f%%", r.dramRowHitRate * 100) << "\n";
+
+    std::cout << "\nVerdict: ";
+    double bp_icnt = r.l2StallDist[unsigned(CacheStallCause::RespQueueFull)];
+    double bp_dram = r.l2StallDist[unsigned(CacheStallCause::MissQueueFull)];
+    if (r.issueStallFrac < 0.4)
+        std::cout << "not memory-bound; scaling bandwidth won't help "
+                     "much.\n";
+    else if (bp_dram > bp_icnt && r.l2MissRate > 0.4)
+        std::cout << "DRAM-bandwidth-bound; HBM-class DRAM (or Table "
+                     "III DRAM scaling) is the right lever.\n";
+    else
+        std::cout << "cache-hierarchy-bound; scale L2 bandwidth "
+                     "(and L1 with it) per Table III -- HBM alone "
+                     "won't fix this (the paper's central point).\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Quickstart: simulate one benchmark on the baseline GTX 480 model and
+ * print the headline metrics the paper's Fig. 1 reports.
+ *
+ * Usage: quickstart [benchmark] [config]
+ *   benchmark: a Table II abbreviation (default: mm)
+ *   config: baseline | L1 | L2 | DRAM | L1+L2 | L2+DRAM | All | HBM |
+ *           16+48 | 16+68 | 32+52 | P-inf | P-DRAM (default: baseline)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/dse.hh"
+#include "gpu/gpu.hh"
+#include "stats/table.hh"
+
+using namespace bwsim;
+
+namespace
+{
+
+GpuConfig
+configByName(const std::string &name)
+{
+    if (name == "baseline")
+        return GpuConfig::baseline();
+    if (name == "L1")
+        return GpuConfig::scaledL1();
+    if (name == "L2")
+        return GpuConfig::scaledL2();
+    if (name == "DRAM")
+        return GpuConfig::scaledDram();
+    if (name == "L1+L2")
+        return GpuConfig::scaledL1L2();
+    if (name == "L2+DRAM")
+        return GpuConfig::scaledL2Dram();
+    if (name == "All")
+        return GpuConfig::scaledAll();
+    if (name == "HBM")
+        return GpuConfig::hbm();
+    if (name == "16+48")
+        return GpuConfig::costEffective16_48();
+    if (name == "16+68")
+        return GpuConfig::costEffective16_68();
+    if (name == "32+52")
+        return GpuConfig::costEffective32_52();
+    if (name == "P-inf")
+        return GpuConfig::perfectMem();
+    if (name == "P-DRAM")
+        return GpuConfig::idealDram();
+    fatal("unknown config '%s'", name.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "mm";
+    std::string cfg_name = argc > 2 ? argv[2] : "baseline";
+
+    const BenchmarkProfile *prof = findBenchmark(bench);
+    if (!prof) {
+        std::cerr << "unknown benchmark '" << bench << "'; pick one of:";
+        for (const auto &p : benchmarkSuite())
+            std::cerr << " " << p.name;
+        std::cerr << "\n";
+        return 1;
+    }
+
+    GpuConfig cfg = configByName(cfg_name);
+    std::cout << "Simulating " << prof->name << " (" << prof->suite
+              << ") on config '" << cfg.name << "'...\n";
+
+    SimResult r = runOne(*prof, cfg);
+
+    stats::TextTable t({"metric", "value"});
+    t.newRow().add("core cycles").addInt(
+        static_cast<long long>(r.coreCycles));
+    t.newRow().add("warp instructions").addInt(
+        static_cast<long long>(r.warpInstsIssued));
+    t.newRow().add("IPC (warp-inst/core-cycle)").addNum(r.ipc, 3);
+    t.newRow().add("issue-stall fraction").addPct(r.issueStallFrac);
+    t.newRow().add("AML (core cycles)").addNum(r.aml, 1);
+    t.newRow().add("L2-AHL (core cycles)").addNum(r.l2Ahl, 1);
+    t.newRow().add("L1 miss rate").addPct(r.l1MissRate);
+    t.newRow().add("L2 miss rate").addPct(r.l2MissRate);
+    t.newRow().add("L2 read hit/miss/merge").add(
+        csprintf("%llu/%llu/%llu",
+                 static_cast<unsigned long long>(r.l2ReadHits),
+                 static_cast<unsigned long long>(r.l2ReadMisses),
+                 static_cast<unsigned long long>(r.l2Merges)));
+    t.newRow().add("DRAM BW efficiency").addPct(r.dramEfficiency);
+    t.newRow().add("DRAM row-hit rate").addPct(r.dramRowHitRate);
+    t.newRow().add("timed out").add(r.timedOut ? "yes" : "no");
+    t.print(std::cout);
+
+    std::cout << "\nIssue-stall distribution:\n";
+    stats::TextTable d({"cause", "share"});
+    for (unsigned i = 0; i < numIssueStallCauses; ++i) {
+        d.newRow()
+            .add(issueStallName(static_cast<IssueStall>(i)))
+            .addPct(r.issueStallDist[i]);
+    }
+    d.print(std::cout);
+    return 0;
+}

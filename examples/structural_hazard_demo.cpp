@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Re-run of the paper's Fig. 6 worked example, on the real CacheModel.
+ *
+ * The instruction stream of §IV-A4:
+ *   I1: LD r1, [0x0100]   (miss)
+ *   I2: LD r2, [0x0200]   (miss)
+ *   I3: LD r3, [0x0300]   (miss)
+ *   I4: LD r4, [0x0400]   (hit)
+ *   I5: MULT r7, r6, r5   (independent ALU op)
+ *
+ * With a 2-entry MSHR, I3 blocks the memory pipeline, serializing the
+ * I4 hit and the independent multiply behind the outstanding misses
+ * (higher hit latency + restricted parallelism). With enough MSHRs,
+ * everything proceeds back to back. The demo prints the cycle-by-cycle
+ * schedule for both cases, mirroring the figure.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "stats/table.hh"
+
+using namespace bwsim;
+
+namespace
+{
+
+struct Event
+{
+    std::string what;
+    Cycle cycle;
+};
+
+/**
+ * Replays the Fig. 6 stream against an L1 with @p mshr_entries MSHRs
+ * and a fixed @p miss_latency. Returns the completion schedule.
+ */
+std::vector<Event>
+runScenario(std::uint32_t mshr_entries, Cycle miss_latency,
+            Cycle alu_latency)
+{
+    MemFetchAllocator alloc;
+    CacheParams p;
+    p.name = "demo-l1";
+    p.sizeBytes = 16 * 1024;
+    p.lineBytes = 128;
+    p.assoc = 4;
+    p.writePolicy = WritePolicy::WriteEvict;
+    p.mshrEntries = mshr_entries;
+    p.mshrMaxMerge = 4;
+    p.missQueueEntries = 8;
+    p.hitLatency = 1;
+    CacheModel l1(p, &alloc, 0);
+
+    // Warm 0x0400 so I4 hits, like the figure.
+    Cycle now = 0;
+    {
+        CacheAccess acc;
+        acc.lineAddr = 0x0400;
+        CacheOutcome out = l1.access(acc, ++now, 0.0);
+        (void)out;
+        MemFetch *mf = l1.missQueuePop();
+        std::vector<MshrWaiter> woken;
+        l1.fill(mf, ++now, 0.0, woken);
+        alloc.free(mf);
+    }
+
+    struct PendingFill
+    {
+        MemFetch *mf;
+        Cycle ready;
+    };
+    std::vector<PendingFill> fills;
+    std::vector<Event> events;
+
+    struct Inst
+    {
+        const char *name;
+        bool isMem;
+        Addr addr;
+    };
+    std::vector<Inst> stream = {{"I1 LD r1,[0x0100]", true, 0x0100},
+                                {"I2 LD r2,[0x0200]", true, 0x0200},
+                                {"I3 LD r3,[0x0300]", true, 0x0300},
+                                {"I4 LD r4,[0x0400]", true, 0x0400},
+                                {"I5 MULT r7,r6,r5", false, 0}};
+
+    Cycle t = 10; // align both scenarios on a common start
+    std::size_t next = 0;
+    int outstanding = 0;
+    while (next < stream.size() || outstanding > 0 || !fills.empty()) {
+        ++t;
+        // Deliver due fills.
+        for (auto it = fills.begin(); it != fills.end();) {
+            if (it->ready <= t) {
+                std::vector<MshrWaiter> woken;
+                if (l1.fill(it->mf, t, 0.0, woken)) {
+                    for (std::size_t w = 0; w < woken.size(); ++w)
+                        --outstanding;
+                    events.push_back(
+                        {csprintf("fill 0x%04llx",
+                                  (unsigned long long)it->mf->lineAddr),
+                         t});
+                    alloc.free(it->mf);
+                    it = fills.erase(it);
+                    continue;
+                }
+            }
+            ++it;
+        }
+        // In-order issue: one instruction per cycle, blocking on the
+        // memory pipeline like the paper's LSU.
+        if (next < stream.size()) {
+            const Inst &i = stream[next];
+            if (i.isMem) {
+                CacheAccess acc;
+                acc.lineAddr = i.addr;
+                acc.warpId = 0;
+                acc.slotId = int(next);
+                CacheOutcome out = l1.access(acc, t, 0.0);
+                if (isStallOutcome(out))
+                    continue; // structural hazard: retry next cycle
+                if (out == CacheOutcome::HitServiced) {
+                    events.push_back(
+                        {csprintf("%s HIT (data @%llu)", i.name,
+                                  (unsigned long long)(t - 10 + 1)),
+                         t});
+                } else {
+                    ++outstanding;
+                    events.push_back({csprintf("%s MISS", i.name), t});
+                    MemFetch *mf = l1.missQueuePop();
+                    fills.push_back({mf, t + miss_latency});
+                }
+                ++next;
+            } else {
+                events.push_back(
+                    {csprintf("%s issue (done @%llu)", i.name,
+                              (unsigned long long)(t - 10 + alu_latency)),
+                     t});
+                ++next;
+            }
+        }
+        if (t > 200)
+            break; // safety
+    }
+    return events;
+}
+
+void
+printSchedule(const char *title, const std::vector<Event> &events)
+{
+    std::cout << "\n--- " << title << " ---\n";
+    stats::TextTable t({"cycle", "event"});
+    for (const auto &e : events)
+        t.newRow().addInt(static_cast<long long>(e.cycle - 10)).add(
+            e.what);
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Fig. 6 structural-hazard illustration "
+                 "(6-cycle miss, 4-cycle ALU op)\n";
+    printSchedule("MSHR size: 2 (structural hazard at I3)",
+                  runScenario(2, 6, 4));
+    printSchedule("MSHR size: 2+ (no structural limitation)",
+                  runScenario(8, 6, 4));
+    std::cout
+        << "\nWith 2 MSHRs, I3 blocks the pipeline until the first fill\n"
+           "frees an entry: the I4 hit and the independent multiply are\n"
+           "serialized behind the misses (higher hit latency, restricted\n"
+           "parallelism). With enough MSHRs every instruction issues\n"
+           "back to back -- exactly the paper's Fig. 6 contrast.\n";
+    return 0;
+}

@@ -1,0 +1,409 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+
+namespace bwsim
+{
+
+const char *
+cacheOutcomeName(CacheOutcome o)
+{
+    switch (o) {
+      case CacheOutcome::HitServiced:
+        return "HitServiced";
+      case CacheOutcome::MissIssued:
+        return "MissIssued";
+      case CacheOutcome::MissMerged:
+        return "MissMerged";
+      case CacheOutcome::WriteForwarded:
+        return "WriteForwarded";
+      case CacheOutcome::WriteAllocated:
+        return "WriteAllocated";
+      case CacheOutcome::WriteMerged:
+        return "WriteMerged";
+      case CacheOutcome::StallMshrFull:
+        return "StallMshrFull";
+      case CacheOutcome::StallLineAlloc:
+        return "StallLineAlloc";
+      case CacheOutcome::StallMissQueueFull:
+        return "StallMissQueueFull";
+      case CacheOutcome::StallPortBusy:
+        return "StallPortBusy";
+      case CacheOutcome::StallRespQueueFull:
+        return "StallRespQueueFull";
+      default:
+        panic("invalid cache outcome %u", static_cast<unsigned>(o));
+    }
+}
+
+bool
+isStallOutcome(CacheOutcome o)
+{
+    switch (o) {
+      case CacheOutcome::StallMshrFull:
+      case CacheOutcome::StallLineAlloc:
+      case CacheOutcome::StallMissQueueFull:
+      case CacheOutcome::StallPortBusy:
+      case CacheOutcome::StallRespQueueFull:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+cacheStallCauseName(CacheStallCause c)
+{
+    switch (c) {
+      case CacheStallCause::RespQueueFull:
+        return "bp-ICNT";
+      case CacheStallCause::PortBusy:
+        return "port";
+      case CacheStallCause::LineAlloc:
+        return "cache";
+      case CacheStallCause::MshrFull:
+        return "mshr";
+      case CacheStallCause::MissQueueFull:
+        return "bp-next-level";
+      default:
+        panic("invalid stall cause %u", static_cast<unsigned>(c));
+    }
+}
+
+double
+CacheCounters::missRate() const
+{
+    std::uint64_t reads = readHits + readMisses + mshrMerges;
+    if (reads == 0)
+        return 0.0;
+    return static_cast<double>(readMisses + mshrMerges) /
+           static_cast<double>(reads);
+}
+
+CacheStallCause
+CacheModel::stallCauseOf(CacheOutcome o)
+{
+    switch (o) {
+      case CacheOutcome::StallMshrFull:
+        return CacheStallCause::MshrFull;
+      case CacheOutcome::StallLineAlloc:
+        return CacheStallCause::LineAlloc;
+      case CacheOutcome::StallMissQueueFull:
+        return CacheStallCause::MissQueueFull;
+      case CacheOutcome::StallPortBusy:
+        return CacheStallCause::PortBusy;
+      case CacheOutcome::StallRespQueueFull:
+        return CacheStallCause::RespQueueFull;
+      default:
+        panic("outcome %s is not a stall", cacheOutcomeName(o));
+    }
+}
+
+CacheModel::CacheModel(const CacheParams &params,
+                       MemFetchAllocator *allocator, int core_id)
+    : cfg(params), alloc(allocator), coreId(core_id),
+      tags(params.sizeBytes, params.lineBytes, params.assoc,
+           params.indexDivisor),
+      mshr(params.mshrEntries, params.mshrMaxMerge),
+      missQ(params.missQueueEntries),
+      respQ(params.respQueueEntries ? params.respQueueEntries : 1),
+      portCyclesPerLine(params.portBytesPerCycle
+                            ? static_cast<std::uint32_t>(divCeil(
+                                  params.lineBytes,
+                                  params.portBytesPerCycle))
+                            : 0)
+{
+    bwsim_assert(alloc != nullptr, "cache '%s' needs a packet allocator",
+                 cfg.name.c_str());
+}
+
+bool
+CacheModel::tryUsePort(Cycle now)
+{
+    if (portCyclesPerLine == 0)
+        return true;
+    if (portFreeAt > now)
+        return false;
+    portFreeAt = now + portCyclesPerLine;
+    return true;
+}
+
+MemFetch *
+CacheModel::makePacket(AccessType type, Addr line_addr,
+                       std::uint32_t store_bytes, const CacheAccess &acc,
+                       double now_ps)
+{
+    MemFetch *mf = alloc->alloc();
+    mf->lineAddr = line_addr;
+    mf->lineBytes = cfg.lineBytes;
+    mf->storeBytes = store_bytes;
+    mf->type = type;
+    mf->coreId = (type == AccessType::L2Writeback) ? -1 : coreId;
+    mf->warpId = acc.warpId;
+    mf->slotId = acc.slotId;
+    mf->tCreated = now_ps;
+    mf->tLeftL1 = now_ps;
+    return mf;
+}
+
+bool
+CacheModel::reserveLine(const ProbeOutcome &probe, Addr line_addr,
+                        Cycle now, double now_ps,
+                        std::uint32_t miss_q_slots_needed)
+{
+    bwsim_assert(missQ.free() >= miss_q_slots_needed,
+                 "reserveLine without reserving miss queue space");
+    if (probe.result == ProbeResult::MissEvict && probe.victimDirty) {
+        bwsim_assert(cfg.writePolicy == WritePolicy::WriteBack,
+                     "dirty victim in a non-write-back cache");
+        CacheAccess dummy;
+        MemFetch *wb = makePacket(AccessType::L2Writeback, probe.victimAddr,
+                                  cfg.lineBytes, dummy, now_ps);
+        bool ok = missQ.push(wb);
+        bwsim_assert(ok, "miss queue overflow on writeback");
+        ++ctr.writebacks;
+    }
+    tags.reserve(line_addr, probe.way, now);
+    return true;
+}
+
+CacheOutcome
+CacheModel::access(const CacheAccess &acc, Cycle now, double now_ps)
+{
+    ++ctr.accesses;
+    CacheOutcome out;
+    if (!acc.write) {
+        out = handleRead(acc, now, now_ps);
+    } else {
+        switch (cfg.writePolicy) {
+          case WritePolicy::WriteEvict:
+            out = handleWriteEvict(acc, now, now_ps);
+            break;
+          case WritePolicy::WriteBack:
+            out = handleWriteBack(acc, now, now_ps);
+            break;
+          default:
+            panic("write access to read-only cache '%s'", cfg.name.c_str());
+        }
+    }
+    if (isStallOutcome(out)) {
+        --ctr.accesses; // retried accesses are counted once, on success
+        countStall(stallCauseOf(out));
+    }
+    return out;
+}
+
+CacheOutcome
+CacheModel::handleRead(const CacheAccess &acc, Cycle now, double now_ps)
+{
+    ProbeOutcome probe = tags.probe(acc.lineAddr);
+
+    if (probe.result == ProbeResult::Hit) {
+        bool is_l2 = cfg.respQueueEntries > 0;
+        if (is_l2) {
+            if (respQ.full())
+                return CacheOutcome::StallRespQueueFull;
+            if (!tryUsePort(now))
+                return CacheOutcome::StallPortBusy;
+            MemFetch *mf = acc.mf;
+            bwsim_assert(mf, "L2 read access without a packet");
+            mf->servicedBy = ServicedBy::L2;
+            mf->tL2Done = now_ps;
+            bool ok = respQ.push(mf, now + cfg.hitLatency);
+            bwsim_assert(ok, "response queue overflow");
+        }
+        tags.accessHit(acc.lineAddr, probe.way, now, false);
+        ++ctr.readHits;
+        return CacheOutcome::HitServiced;
+    }
+
+    MshrWaiter waiter;
+    waiter.warpId = acc.warpId;
+    waiter.slotId = acc.slotId;
+    waiter.mf = acc.mf;
+    waiter.isInstFetch = acc.isInstFetch;
+
+    if (probe.result == ProbeResult::HitReserved) {
+        bwsim_assert(mshr.hasEntry(acc.lineAddr),
+                     "reserved line 0x%llx without an MSHR entry",
+                     static_cast<unsigned long long>(acc.lineAddr));
+        if (!mshr.canMerge(acc.lineAddr))
+            return CacheOutcome::StallMshrFull;
+        mshr.addWaiter(acc.lineAddr, waiter);
+        ++ctr.mshrMerges;
+        return CacheOutcome::MissMerged;
+    }
+
+    // A genuine miss: all resources must be available this cycle.
+    if (mshr.full())
+        return CacheOutcome::StallMshrFull;
+    if (probe.result == ProbeResult::MissNoLine)
+        return CacheOutcome::StallLineAlloc;
+    std::uint32_t slots =
+        1 + ((probe.result == ProbeResult::MissEvict && probe.victimDirty)
+                 ? 1
+                 : 0);
+    if (missQ.free() < slots)
+        return CacheOutcome::StallMissQueueFull;
+
+    reserveLine(probe, acc.lineAddr, now, now_ps, slots);
+    mshr.allocate(acc.lineAddr);
+    mshr.addWaiter(acc.lineAddr, waiter);
+
+    MemFetch *fetch;
+    if (acc.mf) {
+        // L2: forward the arriving packet itself to DRAM.
+        fetch = acc.mf;
+        fetch->servicedBy = ServicedBy::Dram;
+    } else {
+        fetch = makePacket(acc.isInstFetch ? AccessType::InstFetch
+                                           : AccessType::GlobalRead,
+                           acc.lineAddr, 0, acc, now_ps);
+    }
+    bool ok = missQ.push(fetch);
+    bwsim_assert(ok, "miss queue overflow on read miss");
+    ++ctr.readMisses;
+    return CacheOutcome::MissIssued;
+}
+
+CacheOutcome
+CacheModel::handleWriteEvict(const CacheAccess &acc, Cycle now,
+                             double now_ps)
+{
+    (void)now;
+    if (missQ.full())
+        return CacheOutcome::StallMissQueueFull;
+
+    ProbeOutcome probe = tags.probe(acc.lineAddr);
+    if (probe.result == ProbeResult::Hit) {
+        tags.invalidate(acc.lineAddr); // write-evict
+        ++ctr.writeHits;
+    } else {
+        ++ctr.writeMisses;
+    }
+
+    MemFetch *wr = makePacket(AccessType::GlobalWrite, acc.lineAddr,
+                              acc.storeBytes, acc, now_ps);
+    bool ok = missQ.push(wr);
+    bwsim_assert(ok, "miss queue overflow on forwarded write");
+    ++ctr.writesForwarded;
+    return CacheOutcome::WriteForwarded;
+}
+
+CacheOutcome
+CacheModel::handleWriteBack(const CacheAccess &acc, Cycle now,
+                            double now_ps)
+{
+    MemFetch *mf = acc.mf;
+    bwsim_assert(mf, "L2 write access without a packet");
+
+    ProbeOutcome probe = tags.probe(acc.lineAddr);
+
+    if (probe.result == ProbeResult::Hit) {
+        if (!tryUsePort(now))
+            return CacheOutcome::StallPortBusy;
+        tags.accessHit(acc.lineAddr, probe.way, now, true);
+        ++ctr.writeHits;
+        alloc->free(mf); // absorbed; stores carry no reply
+        return CacheOutcome::HitServiced;
+    }
+
+    if (probe.result == ProbeResult::HitReserved) {
+        bwsim_assert(mshr.hasEntry(acc.lineAddr),
+                     "reserved line 0x%llx without an MSHR entry",
+                     static_cast<unsigned long long>(acc.lineAddr));
+        mshr.markDirtyOnFill(acc.lineAddr);
+        ++ctr.writeHits;
+        alloc->free(mf);
+        return CacheOutcome::WriteMerged;
+    }
+
+    // Write miss: write-allocate. A full-line store needs no
+    // fetch-on-write (every byte is overwritten); partial stores fetch
+    // the line from DRAM and merge.
+    bool full_line = acc.storeBytes >= cfg.lineBytes;
+    std::uint32_t wb_slots =
+        (probe.result == ProbeResult::MissEvict && probe.victimDirty) ? 1
+                                                                      : 0;
+    std::uint32_t slots = wb_slots + (full_line ? 0 : 1);
+    if (!full_line && mshr.full())
+        return CacheOutcome::StallMshrFull;
+    if (probe.result == ProbeResult::MissNoLine)
+        return CacheOutcome::StallLineAlloc;
+    if (missQ.free() < slots)
+        return CacheOutcome::StallMissQueueFull;
+
+    reserveLine(probe, acc.lineAddr, now, now_ps, slots);
+    if (full_line) {
+        tags.fill(acc.lineAddr, now, true); // whole line overwritten
+        if (portCyclesPerLine)
+            portFreeAt = std::max(portFreeAt, now) + portCyclesPerLine;
+    } else {
+        mshr.allocate(acc.lineAddr);
+        mshr.markDirtyOnFill(acc.lineAddr);
+        CacheAccess fetch_ctx; // anonymous: the fetch belongs to the L2
+        MemFetch *fetch = makePacket(AccessType::GlobalRead, acc.lineAddr,
+                                     0, fetch_ctx, now_ps);
+        fetch->servicedBy = ServicedBy::Dram;
+        bool ok = missQ.push(fetch);
+        bwsim_assert(ok, "miss queue overflow on write allocate");
+    }
+    ++ctr.writeMisses;
+    alloc->free(mf);
+    return CacheOutcome::WriteAllocated;
+}
+
+bool
+CacheModel::fill(MemFetch *mf, Cycle now, double now_ps,
+                 std::vector<MshrWaiter> &woken)
+{
+    Addr line = mf->lineAddr;
+    bwsim_assert(mshr.hasEntry(line), "fill for untracked line 0x%llx",
+                 static_cast<unsigned long long>(line));
+
+    bool is_l2 = cfg.respQueueEntries > 0;
+    std::size_t n_waiters = mshr.waiterCount(line);
+    if (is_l2) {
+        std::size_t space = respQ.capacity() - respQ.size();
+        if (space < n_waiters)
+            return false; // reply network back-pressure blocks the fill
+    }
+
+    bool dirty = mshr.isDirtyOnFill(line);
+    tags.fill(line, now, dirty);
+    ++ctr.fills;
+
+    // Fills seize the port even if busy (they arrive from DRAM and the
+    // paper lists "an ongoing cache line fill" as a port-contention
+    // source that delays subsequent hits).
+    if (portCyclesPerLine)
+        portFreeAt = std::max(portFreeAt, now) + portCyclesPerLine;
+
+    std::vector<MshrWaiter> waiters;
+    waiters.reserve(n_waiters);
+    mshr.fill(line, waiters);
+
+    if (is_l2) {
+        bool mf_is_waiter = false;
+        Cycle when = now + cfg.hitLatency;
+        for (auto &w : waiters) {
+            bwsim_assert(w.mf, "L2 MSHR waiter without a packet");
+            w.mf->tL2Done = now_ps;
+            bool ok = respQ.push(w.mf, when);
+            bwsim_assert(ok, "response queue overflow on fill");
+            when += portCyclesPerLine ? portCyclesPerLine : 0;
+            if (w.mf == mf)
+                mf_is_waiter = true;
+        }
+        if (!mf_is_waiter)
+            alloc->free(mf); // an L2-generated fetch (write allocate)
+    } else {
+        for (auto &w : waiters)
+            woken.push_back(w);
+    }
+    return true;
+}
+
+} // namespace bwsim

@@ -1,0 +1,79 @@
+#include "cache/mshr.hh"
+
+namespace bwsim
+{
+
+MshrTable::MshrTable(std::uint32_t num_entries, std::uint32_t max_merge)
+    : entries(num_entries), maxMerge(max_merge)
+{
+    bwsim_assert(num_entries > 0, "MSHR needs at least one entry");
+    bwsim_assert(max_merge > 0, "MSHR merge limit must be positive");
+    table.reserve(num_entries * 2);
+}
+
+void
+MshrTable::allocate(Addr line_addr)
+{
+    bwsim_assert(table.size() < entries, "MSHR allocate on a full table");
+    bwsim_assert(!hasEntry(line_addr),
+                 "MSHR allocate for already-tracked line 0x%llx",
+                 static_cast<unsigned long long>(line_addr));
+    table.emplace(line_addr, Entry{});
+}
+
+void
+MshrTable::addWaiter(Addr line_addr, const MshrWaiter &waiter)
+{
+    auto it = table.find(line_addr);
+    bwsim_assert(it != table.end(), "MSHR addWaiter with no entry for 0x%llx",
+                 static_cast<unsigned long long>(line_addr));
+    bwsim_assert(it->second.waiters.size() < maxMerge,
+                 "MSHR merge past the merge limit");
+    it->second.waiters.push_back(waiter);
+}
+
+std::size_t
+MshrTable::waiterCount(Addr line_addr) const
+{
+    auto it = table.find(line_addr);
+    return it == table.end() ? 0 : it->second.waiters.size();
+}
+
+void
+MshrTable::markDirtyOnFill(Addr line_addr)
+{
+    auto it = table.find(line_addr);
+    bwsim_assert(it != table.end(),
+                 "markDirtyOnFill with no entry for 0x%llx",
+                 static_cast<unsigned long long>(line_addr));
+    it->second.dirtyOnFill = true;
+}
+
+bool
+MshrTable::isDirtyOnFill(Addr line_addr) const
+{
+    auto it = table.find(line_addr);
+    return it != table.end() && it->second.dirtyOnFill;
+}
+
+void
+MshrTable::fill(Addr line_addr, std::vector<MshrWaiter> &out)
+{
+    auto it = table.find(line_addr);
+    bwsim_assert(it != table.end(), "MSHR fill with no entry for 0x%llx",
+                 static_cast<unsigned long long>(line_addr));
+    for (auto &w : it->second.waiters)
+        out.push_back(w);
+    table.erase(it);
+}
+
+std::size_t
+MshrTable::totalWaiters() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : table)
+        n += kv.second.waiters.size();
+    return n;
+}
+
+} // namespace bwsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Miss Status Holding Register (MSHR) table with request merging.
+ *
+ * An MSHR entry tracks one in-flight line fill; further accesses to the
+ * same line merge as waiters instead of issuing duplicate fetches.
+ * A full table is the "mshr" structural-hazard cause of Figs. 8 and 9;
+ * prolonged occupancy under congestion is exactly the resource
+ * contention the paper's §IV-A2 describes.
+ */
+
+#ifndef BWSIM_CACHE_MSHR_HH
+#define BWSIM_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace bwsim
+{
+
+class MemFetch;
+
+/**
+ * One merged access waiting on an in-flight fill. L1 waiters identify
+ * the (warp, LSU-slot) to wake; L2 waiters carry the original request
+ * packet so a reply can be routed back to its core.
+ */
+struct MshrWaiter
+{
+    int warpId = -1;
+    int slotId = -1;
+    MemFetch *mf = nullptr;
+    bool isInstFetch = false;
+};
+
+class MshrTable
+{
+  public:
+    /**
+     * @param num_entries distinct in-flight lines the table can track
+     * @param max_merge maximum waiters per entry (including the first)
+     */
+    MshrTable(std::uint32_t num_entries, std::uint32_t max_merge);
+
+    /** True if a fill for @p line_addr is already in flight. */
+    bool
+    hasEntry(Addr line_addr) const
+    {
+        return table.find(line_addr) != table.end();
+    }
+
+    /** A waiter can merge into an existing entry for @p line_addr. */
+    bool
+    canMerge(Addr line_addr) const
+    {
+        auto it = table.find(line_addr);
+        return it != table.end() && it->second.waiters.size() < maxMerge;
+    }
+
+    /** A new access would need a fresh entry (i.e. no merge target). */
+    bool
+    wouldAllocate(Addr line_addr) const
+    {
+        return table.find(line_addr) == table.end();
+    }
+
+    /** Allocate an (empty) entry for a new miss; table must not be full. */
+    void allocate(Addr line_addr);
+
+    /** Add a waiter to an existing entry. canMerge must hold, except
+     *  immediately after allocate() where the entry is empty. */
+    void addWaiter(Addr line_addr, const MshrWaiter &waiter);
+
+    /** Waiters currently attached to @p line_addr's entry (0 if none). */
+    std::size_t waiterCount(Addr line_addr) const;
+
+    /** Record that a store merged into the pending fill (write-alloc). */
+    void markDirtyOnFill(Addr line_addr);
+
+    bool isDirtyOnFill(Addr line_addr) const;
+
+    /**
+     * Complete the fill for @p line_addr: removes the entry and moves
+     * its waiters into @p out (appended in merge order).
+     */
+    void fill(Addr line_addr, std::vector<MshrWaiter> &out);
+
+    std::size_t size() const { return table.size(); }
+    std::uint32_t capacity() const { return entries; }
+    bool full() const { return table.size() >= entries; }
+
+    /** Total waiters across all entries (for occupancy stats/tests). */
+    std::size_t totalWaiters() const;
+
+  private:
+    struct Entry
+    {
+        std::vector<MshrWaiter> waiters;
+        bool dirtyOnFill = false;
+    };
+
+    std::uint32_t entries;
+    std::uint32_t maxMerge;
+    std::unordered_map<Addr, Entry> table;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_CACHE_MSHR_HH

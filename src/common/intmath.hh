@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small integer math helpers used throughout the simulator.
+ */
+
+#ifndef BWSIM_COMMON_INTMATH_HH
+#define BWSIM_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+namespace bwsim
+{
+
+/** True iff @p n is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** floor(log2(n)); undefined for n == 0. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned p = 0;
+    while (n > 1) {
+        n >>= 1;
+        ++p;
+    }
+    return p;
+}
+
+/** ceil(log2(n)); undefined for n == 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return floorLog2(n) + (isPowerOf2(n) ? 0 : 1);
+}
+
+/** ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p align (align > 0). */
+constexpr std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t align)
+{
+    return divCeil(a, align) * align;
+}
+
+/** Round @p a down to a multiple of @p align (align > 0). */
+constexpr std::uint64_t
+roundDown(std::uint64_t a, std::uint64_t align)
+{
+    return (a / align) * align;
+}
+
+} // namespace bwsim
+
+#endif // BWSIM_COMMON_INTMATH_HH

@@ -1,0 +1,74 @@
+#include "common/log.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <vector>
+
+namespace bwsim
+{
+
+namespace
+{
+std::atomic<bool> gQuiet{false};
+} // anonymous namespace
+
+void
+setQuiet(bool q)
+{
+    gQuiet.store(q);
+}
+
+bool
+quiet()
+{
+    return gQuiet.load();
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    if (!gQuiet.load())
+        std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!gQuiet.load())
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace bwsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * fatal()  -- the user asked for something the simulator cannot do
+ *             (bad configuration); exits with status 1.
+ * panic()  -- the simulator itself is broken (internal invariant
+ *             violated); aborts so a debugger/core dump is useful.
+ * warn()   -- something is questionable but simulation continues.
+ * inform() -- purely informational.
+ */
+
+#ifndef BWSIM_COMMON_LOG_HH
+#define BWSIM_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace bwsim
+{
+
+/** Printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Suppress warn()/inform() output (used by tests and sweeps). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace bwsim
+
+#define fatal(...) \
+    ::bwsim::fatalImpl(__FILE__, __LINE__, ::bwsim::csprintf(__VA_ARGS__))
+#define panic(...) \
+    ::bwsim::panicImpl(__FILE__, __LINE__, ::bwsim::csprintf(__VA_ARGS__))
+#define warn(...) \
+    ::bwsim::warnImpl(__FILE__, __LINE__, ::bwsim::csprintf(__VA_ARGS__))
+#define inform(...) \
+    ::bwsim::informImpl(::bwsim::csprintf(__VA_ARGS__))
+
+/** panic() unless the condition holds; cheap enough to keep in release. */
+#define bwsim_assert(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::bwsim::panicImpl(__FILE__, __LINE__,                         \
+                std::string("assertion '" #cond "' failed: ") +            \
+                ::bwsim::csprintf(__VA_ARGS__));                           \
+        }                                                                  \
+    } while (0)
+
+#endif // BWSIM_COMMON_LOG_HH

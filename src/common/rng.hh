@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic xorshift64* random number generator.
+ *
+ * Every stochastic choice in bwsim (workload instruction mixes, address
+ * streams) draws from an Rng seeded from stable identifiers, so every
+ * experiment is bit-reproducible across runs and platforms.
+ */
+
+#ifndef BWSIM_COMMON_RNG_HH
+#define BWSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace bwsim
+{
+
+/** xorshift64* PRNG; small, fast, and good enough for workload synthesis. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Combine two identifiers into a well-mixed seed. */
+    static std::uint64_t
+    mixSeed(std::uint64_t a, std::uint64_t b)
+    {
+        std::uint64_t x = a * 0x9e3779b97f4a7c15ull + b + 1;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        return x ? x : 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_COMMON_RNG_HH

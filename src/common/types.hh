@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every bwsim module.
+ */
+
+#ifndef BWSIM_COMMON_TYPES_HH
+#define BWSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace bwsim
+{
+
+/** Simulated time in picoseconds, global across clock domains. */
+using Tick = std::uint64_t;
+
+/** Cycle count local to one clock domain. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Picoseconds per second, for frequency/period conversions. */
+constexpr double psPerSec = 1e12;
+
+} // namespace bwsim
+
+#endif // BWSIM_COMMON_TYPES_HH

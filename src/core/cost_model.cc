@@ -1,0 +1,60 @@
+#include "core/cost_model.hh"
+
+namespace bwsim
+{
+
+AreaReport
+AreaModel::delta(const GpuConfig &base, const GpuConfig &cfg)
+{
+    AreaReport r;
+
+    auto add = [&r](const char *what, long long base_entries,
+                    long long cfg_entries, int instances,
+                    int entry_bytes) {
+        long long d = cfg_entries - base_entries;
+        if (d == 0)
+            return;
+        StorageDeltaItem item;
+        item.structure = what;
+        item.entriesDelta = d;
+        item.instances = instances;
+        item.entryBytes = entry_bytes;
+        item.totalKB = static_cast<double>(d) * instances * entry_bytes /
+                       1024.0;
+        r.items.push_back(item);
+        r.storageKB += item.totalKB;
+    };
+
+    int l2_banks = static_cast<int>(cfg.totalL2Banks());
+    int cores = cfg.numCores;
+    int partitions = static_cast<int>(cfg.numPartitions);
+
+    add("L2 access queue", base.l2AccessQueue, cfg.l2AccessQueue, l2_banks,
+        bufferEntryBytes);
+    add("L2 response queue", base.l2RespQueue, cfg.l2RespQueue, l2_banks,
+        bufferEntryBytes);
+    add("L2 miss queue", base.l2MissQueue, cfg.l2MissQueue, l2_banks,
+        missEntryBytes);
+    add("L2 MSHR", base.l2MshrEntries, cfg.l2MshrEntries, l2_banks,
+        mshrEntryBytes);
+    add("L1 miss queue", base.l1dMissQueue, cfg.l1dMissQueue, cores,
+        missEntryBytes);
+    add("L1 MSHR", base.l1dMshrEntries, cfg.l1dMshrEntries, cores,
+        mshrEntryBytes);
+    add("Memory pipeline", base.memPipelineWidth, cfg.memPipelineWidth,
+        cores, memPipeEntryBytes);
+    add("DRAM scheduler queue", base.dramSchedQueue, cfg.dramSchedQueue,
+        partitions, bufferEntryBytes);
+
+    r.storageMm2 = r.storageKB * mm2PerKB;
+
+    std::uint32_t base_width = base.reqFlitBytes + base.replyFlitBytes;
+    std::uint32_t cfg_width = cfg.reqFlitBytes + cfg.replyFlitBytes;
+    r.wireDeltaMm2 = wireMm2(cfg_width) - wireMm2(base_width);
+
+    r.totalMm2 = r.storageMm2 + r.wireDeltaMm2;
+    r.dieFraction = r.totalMm2 / dieMm2;
+    return r;
+}
+
+} // namespace bwsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Area cost model (§VII "Overhead"), reproducing the paper's
+ * GPUWattch-derived arithmetic:
+ *
+ *  - buffer entries (L2 access and response queues) are 128 B wide;
+ *  - miss queue and MSHR entries are 8 B wide;
+ *  - memory-pipeline entries are 32 B request descriptors;
+ *  - 94 KB of added storage costs 7.48 mm^2 at 40 nm, i.e.
+ *    0.07957 mm^2/KB;
+ *  - the baseline 32+32 crossbar occupies 27 mm^2 of which the wires
+ *    are 11.6 mm^2 for 64 B of point-to-point width, i.e. growing the
+ *    width by 20 B (16+68 or 32+52) adds 11.6 * 20/64 = 3.62 mm^2;
+ *  - the baseline processor die is 700 mm^2.
+ */
+
+#ifndef BWSIM_CORE_COST_MODEL_HH
+#define BWSIM_CORE_COST_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_config.hh"
+
+namespace bwsim
+{
+
+/** One storage structure's contribution to the area delta. */
+struct StorageDeltaItem
+{
+    std::string structure;
+    long long entriesDelta = 0;  ///< per instance
+    int instances = 0;
+    int entryBytes = 0;
+    double totalKB = 0.0;
+};
+
+struct AreaReport
+{
+    std::vector<StorageDeltaItem> items;
+    double storageKB = 0.0;
+    double storageMm2 = 0.0;
+    double wireDeltaMm2 = 0.0;
+    double totalMm2 = 0.0;
+    double dieFraction = 0.0; ///< overhead relative to the 700 mm^2 die
+};
+
+class AreaModel
+{
+  public:
+    /** @name Published constants (§VII) */
+    /**@{*/
+    static constexpr double mm2PerKB = 7.48 / 94.0;
+    static constexpr double baselineXbarMm2 = 27.0;
+    static constexpr double baselineWireMm2 = 11.6;
+    static constexpr double baselineWireBytes = 64.0; ///< 32+32
+    static constexpr double dieMm2 = 700.0;
+    static constexpr int bufferEntryBytes = 128;
+    static constexpr int missEntryBytes = 8;
+    static constexpr int mshrEntryBytes = 8;
+    static constexpr int memPipeEntryBytes = 32;
+    /**@}*/
+
+    /** Wire area of a crossbar with the given point-to-point width. */
+    static double
+    wireMm2(std::uint32_t total_flit_bytes)
+    {
+        return baselineWireMm2 *
+               static_cast<double>(total_flit_bytes) / baselineWireBytes;
+    }
+
+    /** Full area delta of @p cfg over @p base. */
+    static AreaReport delta(const GpuConfig &base, const GpuConfig &cfg);
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_CORE_COST_MODEL_HH

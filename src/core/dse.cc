@@ -1,0 +1,78 @@
+#include "core/dse.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+
+namespace bwsim
+{
+
+SimResult
+runOne(const BenchmarkProfile &profile, const GpuConfig &config)
+{
+    Gpu gpu(config, profile);
+    return gpu.run();
+}
+
+std::vector<SimResult>
+runAll(const std::vector<RunSpec> &specs, int threads)
+{
+    std::vector<SimResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    unsigned n_threads = threads > 0
+                             ? static_cast<unsigned>(threads)
+                             : std::max(1u,
+                                        std::thread::hardware_concurrency());
+    n_threads = std::min<unsigned>(n_threads,
+                                   static_cast<unsigned>(specs.size()));
+
+    if (n_threads <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            results[i] = runOne(specs[i].profile, specs[i].config);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            results[i] = runOne(specs[i].profile, specs[i].config);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+BenchmarkProfile
+shrinkProfile(const BenchmarkProfile &profile, int factor)
+{
+    bwsim_assert(factor >= 1, "shrink factor must be >= 1");
+    BenchmarkProfile p = profile;
+    p.numCtas = std::max(p.maxCtasPerCore, p.numCtas / factor);
+    p.instsPerWarp = std::max(40, p.instsPerWarp / factor);
+    return p;
+}
+
+double
+averageOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+} // namespace bwsim

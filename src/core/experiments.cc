@@ -1,0 +1,541 @@
+#include "core/experiments.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "cache/cache.hh"
+#include "common/log.hh"
+#include "core/cost_model.hh"
+#include "smcore/stall.hh"
+#include "stats/occupancy_hist.hh"
+
+namespace bwsim::exp
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Run one config across all benchmarks and return the results. */
+std::vector<SimResult>
+runConfig(const std::vector<BenchmarkProfile> &profiles,
+          const GpuConfig &cfg, int threads)
+{
+    std::vector<RunSpec> specs;
+    specs.reserve(profiles.size());
+    for (const auto &p : profiles)
+        specs.push_back({p, cfg});
+    return runAll(specs, threads);
+}
+
+/** Build a speedup-style SeriesTable: rows = benchmarks (+AVG). */
+SeriesTable
+buildSpeedupTable(const std::vector<BenchmarkProfile> &profiles,
+                  const std::vector<std::string> &config_names,
+                  const std::vector<std::vector<double>> &speedups,
+                  const std::string &value_header)
+{
+    SeriesTable t;
+    t.colNames = config_names;
+    std::vector<std::string> headers{"benchmark"};
+    for (const auto &c : config_names)
+        headers.push_back(c);
+    t.table = stats::TextTable(headers);
+
+    std::vector<double> col_sums(config_names.size(), 0.0);
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        t.rowNames.push_back(profiles[b].name);
+        t.table.newRow().add(profiles[b].name);
+        std::vector<double> row;
+        for (std::size_t c = 0; c < config_names.size(); ++c) {
+            double v = speedups[c][b];
+            row.push_back(v);
+            col_sums[c] += v;
+            t.table.addNum(v, 2);
+        }
+        t.value.push_back(row);
+    }
+    t.rowNames.push_back("AVG");
+    t.table.newRow().add("AVG");
+    std::vector<double> avg_row;
+    for (std::size_t c = 0; c < config_names.size(); ++c) {
+        double v = profiles.empty()
+                       ? 0.0
+                       : col_sums[c] / double(profiles.size());
+        avg_row.push_back(v);
+        t.table.addNum(v, 2);
+    }
+    t.value.push_back(avg_row);
+    (void)value_header;
+    return t;
+}
+
+/** Rows = benchmarks (+AVG); cell extractor per result. */
+template <typename Fn>
+SeriesTable
+buildMetricTable(const std::vector<SimResult> &results,
+                 const std::vector<std::string> &metric_names, Fn extract,
+                 int precision = 3)
+{
+    SeriesTable t;
+    t.colNames = metric_names;
+    std::vector<std::string> headers{"benchmark"};
+    for (const auto &m : metric_names)
+        headers.push_back(m);
+    t.table = stats::TextTable(headers);
+
+    std::vector<double> sums(metric_names.size(), 0.0);
+    for (const auto &r : results) {
+        t.rowNames.push_back(r.benchmark);
+        t.table.newRow().add(r.benchmark);
+        std::vector<double> row;
+        for (std::size_t m = 0; m < metric_names.size(); ++m) {
+            double v = extract(r, m);
+            row.push_back(v);
+            sums[m] += v;
+            t.table.addNum(v, precision);
+        }
+        t.value.push_back(row);
+    }
+    t.rowNames.push_back("AVG");
+    t.table.newRow().add("AVG");
+    std::vector<double> avg;
+    for (std::size_t m = 0; m < metric_names.size(); ++m) {
+        double v = results.empty() ? 0.0 : sums[m] / double(results.size());
+        avg.push_back(v);
+        t.table.addNum(v, precision);
+    }
+    t.value.push_back(avg);
+    return t;
+}
+
+} // anonymous namespace
+
+ExperimentOptions
+ExperimentOptions::fromEnv()
+{
+    ExperimentOptions o;
+    if (const char *b = std::getenv("BWSIM_BENCHES"))
+        o.benchmarks = splitCsv(b);
+    if (const char *t = std::getenv("BWSIM_THREADS"))
+        o.threads = std::atoi(t);
+    if (const char *s = std::getenv("BWSIM_SHRINK"))
+        o.shrink = std::max(1, std::atoi(s));
+    return o;
+}
+
+double
+SeriesTable::at(const std::string &row, const std::string &col) const
+{
+    for (std::size_t r = 0; r < rowNames.size(); ++r) {
+        if (rowNames[r] != row)
+            continue;
+        for (std::size_t c = 0; c < colNames.size(); ++c)
+            if (colNames[c] == col)
+                return value[r][c];
+    }
+    fatal("SeriesTable::at(%s, %s): no such cell", row.c_str(),
+          col.c_str());
+}
+
+std::vector<BenchmarkProfile>
+selectBenchmarks(const ExperimentOptions &opts)
+{
+    std::vector<BenchmarkProfile> out;
+    if (opts.benchmarks.empty()) {
+        out = benchmarkSuite();
+    } else {
+        for (const auto &name : opts.benchmarks) {
+            const BenchmarkProfile *p = findBenchmark(name);
+            if (!p)
+                fatal("unknown benchmark '%s'", name.c_str());
+            out.push_back(*p);
+        }
+    }
+    if (opts.shrink > 1)
+        for (auto &p : out)
+            p = shrinkProfile(p, opts.shrink);
+    return out;
+}
+
+std::vector<SimResult>
+baselineResults(const ExperimentOptions &opts)
+{
+    return runConfig(selectBenchmarks(opts), GpuConfig::baseline(),
+                     opts.threads);
+}
+
+SeriesTable
+fig1StallsAndLatencies(const std::vector<SimResult> &base)
+{
+    return buildMetricTable(
+        base, {"IssueStall%", "L2-AHL", "AML"},
+        [](const SimResult &r, std::size_t m) {
+            switch (m) {
+              case 0:
+                return r.issueStallFrac * 100.0;
+              case 1:
+                return r.l2Ahl;
+              default:
+                return r.aml;
+            }
+        },
+        1);
+}
+
+SeriesTable
+fig4L2QueueOccupancy(const std::vector<SimResult> &base)
+{
+    std::vector<std::string> bands;
+    for (unsigned i = 0; i < stats::numOccBands; ++i)
+        bands.push_back(
+            stats::occBandLabel(static_cast<stats::OccBand>(i)));
+    return buildMetricTable(
+        base, bands,
+        [](const SimResult &r, std::size_t m) {
+            return r.l2AccessQueueOcc[m];
+        },
+        3);
+}
+
+SeriesTable
+fig5DramQueueOccupancy(const std::vector<SimResult> &base)
+{
+    std::vector<std::string> bands;
+    for (unsigned i = 0; i < stats::numOccBands; ++i)
+        bands.push_back(
+            stats::occBandLabel(static_cast<stats::OccBand>(i)));
+    return buildMetricTable(
+        base, bands,
+        [](const SimResult &r, std::size_t m) {
+            return r.dramQueueOcc[m];
+        },
+        3);
+}
+
+SeriesTable
+fig7IssueStallDistribution(const std::vector<SimResult> &base)
+{
+    std::vector<std::string> causes;
+    for (unsigned i = 0; i < numIssueStallCauses; ++i)
+        causes.push_back(issueStallName(static_cast<IssueStall>(i)));
+    return buildMetricTable(
+        base, causes,
+        [](const SimResult &r, std::size_t m) {
+            return r.issueStallDist[m] * 100.0;
+        },
+        1);
+}
+
+SeriesTable
+fig8L2StallDistribution(const std::vector<SimResult> &base)
+{
+    // Fig. 8 legend order: bp-ICNT, port, cache, mshr, bp-DRAM.
+    std::vector<std::string> causes{"bp-ICNT", "port", "cache", "mshr",
+                                    "bp-DRAM"};
+    return buildMetricTable(
+        base, causes,
+        [](const SimResult &r, std::size_t m) {
+            return r.l2StallDist[m] * 100.0;
+        },
+        1);
+}
+
+SeriesTable
+fig9L1StallDistribution(const std::vector<SimResult> &base)
+{
+    // Fig. 9 legend order: cache, mshr, bp-L2.
+    std::vector<std::string> causes{"cache", "mshr", "bp-L2"};
+    return buildMetricTable(
+        base, causes,
+        [](const SimResult &r, std::size_t m) {
+            switch (m) {
+              case 0:
+                return r.l1StallDist[static_cast<unsigned>(
+                           CacheStallCause::LineAlloc)] * 100.0;
+              case 1:
+                return r.l1StallDist[static_cast<unsigned>(
+                           CacheStallCause::MshrFull)] * 100.0;
+              default:
+                return r.l1StallDist[static_cast<unsigned>(
+                           CacheStallCause::MissQueueFull)] * 100.0;
+            }
+        },
+        1);
+}
+
+SeriesTable
+sec4DramEfficiency(const std::vector<SimResult> &base)
+{
+    return buildMetricTable(
+        base, {"BW-efficiency%", "RowHit%"},
+        [](const SimResult &r, std::size_t m) {
+            return (m == 0 ? r.dramEfficiency : r.dramRowHitRate) * 100.0;
+        },
+        1);
+}
+
+SeriesTable
+tab2SpeedupBounds(const ExperimentOptions &opts)
+{
+    auto profiles = selectBenchmarks(opts);
+    auto base = runConfig(profiles, GpuConfig::baseline(), opts.threads);
+    auto pinf = runConfig(profiles, GpuConfig::perfectMem(), opts.threads);
+    auto pdram = runConfig(profiles, GpuConfig::idealDram(), opts.threads);
+
+    std::vector<std::vector<double>> speedups(2);
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        speedups[0].push_back(pinf[b].speedupOver(base[b]));
+        speedups[1].push_back(pdram[b].speedupOver(base[b]));
+    }
+    return buildSpeedupTable(profiles, {"P-inf", "P-DRAM"}, speedups,
+                             "speedup");
+}
+
+std::vector<std::uint32_t>
+fig3DefaultLatencies()
+{
+    return {0, 50, 100, 150, 200, 250, 300, 350, 400, 450,
+            500, 550, 600, 650, 700, 750, 800};
+}
+
+std::vector<std::string>
+fig3DefaultBenchmarks()
+{
+    return {"cfd", "dwt2d", "leukocyte", "nn", "nw", "sc", "lbm", "ss"};
+}
+
+SeriesTable
+fig3LatencySweep(const ExperimentOptions &opts,
+                 const std::vector<std::uint32_t> &latencies)
+{
+    auto profiles = selectBenchmarks(opts);
+    auto base = runConfig(profiles, GpuConfig::baseline(), opts.threads);
+
+    std::vector<std::string> config_names;
+    std::vector<std::vector<double>> speedups;
+    for (std::uint32_t lat : latencies) {
+        auto res = runConfig(profiles, GpuConfig::fixedL1Lat(lat),
+                             opts.threads);
+        std::vector<double> col;
+        for (std::size_t b = 0; b < profiles.size(); ++b)
+            col.push_back(res[b].speedupOver(base[b]));
+        config_names.push_back(csprintf("%u", lat));
+        speedups.push_back(std::move(col));
+    }
+    return buildSpeedupTable(profiles, config_names, speedups,
+                             "ipc-normalized");
+}
+
+SeriesTable
+fig10DseScaling(const ExperimentOptions &opts)
+{
+    auto profiles = selectBenchmarks(opts);
+    auto base = runConfig(profiles, GpuConfig::baseline(), opts.threads);
+
+    std::vector<GpuConfig> configs{
+        GpuConfig::scaledL1(),     GpuConfig::scaledL2(),
+        GpuConfig::scaledDram(),   GpuConfig::scaledL1L2(),
+        GpuConfig::scaledL2Dram(), GpuConfig::scaledAll()};
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> speedups;
+    for (const auto &cfg : configs) {
+        auto res = runConfig(profiles, cfg, opts.threads);
+        std::vector<double> col;
+        for (std::size_t b = 0; b < profiles.size(); ++b)
+            col.push_back(res[b].speedupOver(base[b]));
+        names.push_back(cfg.name);
+        speedups.push_back(std::move(col));
+    }
+    return buildSpeedupTable(profiles, names, speedups, "speedup");
+}
+
+std::vector<double>
+fig11DefaultFrequencies()
+{
+    return {1.2, 1.3, 1.4, 1.5, 1.6};
+}
+
+std::vector<std::string>
+fig11DefaultBenchmarks()
+{
+    return {"nn", "hybridsort", "sradv2", "bfs", "cfd", "leukocyte"};
+}
+
+SeriesTable
+fig11FrequencySweep(const ExperimentOptions &opts,
+                    const std::vector<double> &freqs_ghz)
+{
+    auto profiles = selectBenchmarks(opts);
+    auto base = runConfig(profiles, GpuConfig::baseline(), opts.threads);
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> speedups;
+    for (double f : freqs_ghz) {
+        GpuConfig cfg = GpuConfig::baseline();
+        cfg.name = csprintf("%.1fGHz", f);
+        cfg.coreClockMhz = f * 1000.0;
+        auto res = runConfig(profiles, cfg, opts.threads);
+        std::vector<double> col;
+        for (std::size_t b = 0; b < profiles.size(); ++b)
+            col.push_back(res[b].speedupOver(base[b]));
+        names.push_back(cfg.name);
+        speedups.push_back(std::move(col));
+    }
+    return buildSpeedupTable(profiles, names, speedups, "perf-normalized");
+}
+
+SeriesTable
+fig12CostEffective(const ExperimentOptions &opts)
+{
+    auto profiles = selectBenchmarks(opts);
+    auto base = runConfig(profiles, GpuConfig::baseline(), opts.threads);
+
+    std::vector<GpuConfig> configs{
+        GpuConfig::costEffective16_48(), GpuConfig::costEffective16_68(),
+        GpuConfig::costEffective32_52(), GpuConfig::hbm()};
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> speedups;
+    for (const auto &cfg : configs) {
+        auto res = runConfig(profiles, cfg, opts.threads);
+        std::vector<double> col;
+        for (std::size_t b = 0; b < profiles.size(); ++b)
+            col.push_back(res[b].speedupOver(base[b]));
+        names.push_back(cfg.name);
+        speedups.push_back(std::move(col));
+    }
+    return buildSpeedupTable(profiles, names, speedups, "speedup");
+}
+
+stats::TextTable
+tab1BaselineConfig()
+{
+    GpuConfig c = GpuConfig::baseline();
+    stats::TextTable t({"parameter", "value"});
+    auto row = [&t](const std::string &k, const std::string &v) {
+        t.newRow().add(k).add(v);
+    };
+    row("Cores", csprintf("%d SMs, GTO scheduler", c.numCores));
+    row("Core clock", csprintf("%.0f MHz", c.coreClockMhz));
+    row("Crossbar/L2 clock", csprintf("%.0f MHz", c.icntClockMhz));
+    row("DRAM command clock", csprintf("%.0f MHz", c.dramClockMhz));
+    row("Threads per SM", csprintf("%d", c.maxWarpsPerCore * 32));
+    row("L1D",
+        csprintf("%lluKB, %uB line, %u-way, write-evict, %u MSHR, "
+                 "%u-entry miss queue",
+                 static_cast<unsigned long long>(c.l1dSizeBytes / 1024),
+                 c.lineBytes, c.l1dAssoc, c.l1dMshrEntries,
+                 c.l1dMissQueue));
+    row("Interconnect", csprintf("crossbar, %u+%uB flits",
+                                 c.reqFlitBytes, c.replyFlitBytes));
+    row("L2",
+        csprintf("%lluKB, %u banks, %u-way, write-back, %u MSHR, "
+                 "%u-entry miss queue, %uB port, %u-entry access queue",
+                 static_cast<unsigned long long>(c.l2TotalSizeBytes /
+                                                 1024),
+                 c.totalL2Banks(), c.l2Assoc, c.l2MshrEntries,
+                 c.l2MissQueue, c.l2PortBytes, c.l2AccessQueue));
+    row("DRAM",
+        csprintf("GDDR5, %u partitions, %u banks/chip, %uB/cycle bus, "
+                 "%u-entry scheduler queue, FR-FCFS",
+                 c.numPartitions, c.dramBanks, c.dramBusBytesPerCycle,
+                 c.dramSchedQueue));
+    row("DRAM timing",
+        csprintf("CCD=%u RRD=%u RCD=%u RAS=%u RP=%u RC=%u CL=%u WL=%u "
+                 "CDLR=%u WR=%u",
+                 c.dramTiming.tCCD, c.dramTiming.tRRD, c.dramTiming.tRCD,
+                 c.dramTiming.tRAS, c.dramTiming.tRP, c.dramTiming.tRC,
+                 c.dramTiming.CL, c.dramTiming.WL, c.dramTiming.tCDLR,
+                 c.dramTiming.tWR));
+    return t;
+}
+
+stats::TextTable
+tab3DesignSpace()
+{
+    GpuConfig b = GpuConfig::baseline();
+    GpuConfig s = GpuConfig::scaledAll();
+    GpuConfig ce = GpuConfig::costEffective16_48();
+
+    stats::TextTable t({"parameter", "type", "baseline", "scaled(4x)",
+                        "cost-effective"});
+    auto row = [&t](const char *p, const char *ty, std::uint64_t bv,
+                    std::uint64_t sv, std::uint64_t cv) {
+        t.newRow().add(p).add(ty);
+        t.addInt(static_cast<long long>(bv));
+        t.addInt(static_cast<long long>(sv));
+        t.addInt(static_cast<long long>(cv));
+    };
+    row("DRAM scheduler queue", "=", b.dramSchedQueue, s.dramSchedQueue,
+        ce.dramSchedQueue);
+    row("DRAM banks/chip", "=", b.dramBanks, s.dramBanks, ce.dramBanks);
+    row("DRAM bus bytes/cycle", "+", b.dramBusBytesPerCycle,
+        s.dramBusBytesPerCycle, ce.dramBusBytesPerCycle);
+    row("L2 miss queue", "=", b.l2MissQueue, s.l2MissQueue,
+        ce.l2MissQueue);
+    row("L2 response queue", "=", b.l2RespQueue, s.l2RespQueue,
+        ce.l2RespQueue);
+    row("L2 MSHR", "=", b.l2MshrEntries, s.l2MshrEntries,
+        ce.l2MshrEntries);
+    row("L2 access queue", "=", b.l2AccessQueue, s.l2AccessQueue,
+        ce.l2AccessQueue);
+    row("L2 data port bytes", "+", b.l2PortBytes, s.l2PortBytes,
+        ce.l2PortBytes);
+    row("Request flit bytes", "+", b.reqFlitBytes, s.reqFlitBytes,
+        ce.reqFlitBytes);
+    row("Reply flit bytes", "+", b.replyFlitBytes, s.replyFlitBytes,
+        ce.replyFlitBytes);
+    row("L2 banks", "+", b.totalL2Banks(), s.totalL2Banks(),
+        ce.totalL2Banks());
+    row("L1 miss queue", "=", b.l1dMissQueue, s.l1dMissQueue,
+        ce.l1dMissQueue);
+    row("L1 MSHR", "=", b.l1dMshrEntries, s.l1dMshrEntries,
+        ce.l1dMshrEntries);
+    row("Memory pipeline width", "=", b.memPipelineWidth,
+        s.memPipelineWidth, ce.memPipelineWidth);
+    return t;
+}
+
+SeriesTable
+sec7AreaOverhead()
+{
+    GpuConfig base = GpuConfig::baseline();
+    std::vector<GpuConfig> configs{GpuConfig::costEffective16_48(),
+                                   GpuConfig::costEffective16_68(),
+                                   GpuConfig::costEffective32_52()};
+
+    SeriesTable t;
+    t.colNames = {"storageKB", "storage-mm2", "wire-mm2", "total-mm2",
+                  "die-overhead%"};
+    t.table = stats::TextTable({"config", "storageKB", "storage-mm2",
+                                "wire-mm2", "total-mm2",
+                                "die-overhead%"});
+    for (const auto &cfg : configs) {
+        AreaReport rep = AreaModel::delta(base, cfg);
+        t.rowNames.push_back(cfg.name);
+        t.value.push_back({rep.storageKB, rep.storageMm2, rep.wireDeltaMm2,
+                           rep.totalMm2, rep.dieFraction * 100.0});
+        t.table.newRow().add(cfg.name);
+        t.table.addNum(rep.storageKB, 1);
+        t.table.addNum(rep.storageMm2, 2);
+        t.table.addNum(rep.wireDeltaMm2, 2);
+        t.table.addNum(rep.totalMm2, 2);
+        t.table.addNum(rep.dieFraction * 100.0, 2);
+    }
+    return t;
+}
+
+} // namespace bwsim::exp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The experiment registry: one function per table/figure of the paper.
+ * Each returns a SeriesTable -- a printable TextTable plus the raw
+ * numeric grid -- so benchmark binaries print it and tests assert on
+ * it. The per-experiment index lives in DESIGN.md §4.
+ */
+
+#ifndef BWSIM_CORE_EXPERIMENTS_HH
+#define BWSIM_CORE_EXPERIMENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/dse.hh"
+#include "stats/table.hh"
+
+namespace bwsim::exp
+{
+
+/** Common knobs for every experiment driver. */
+struct ExperimentOptions
+{
+    /** Benchmarks to include (paper abbreviations); empty = all 19. */
+    std::vector<std::string> benchmarks;
+    /** Host threads for the parallel runner (0 = hardware). */
+    int threads = 0;
+    /** Divide workload size by this factor (quick runs, tests). */
+    int shrink = 1;
+
+    /** Read BWSIM_BENCHES / BWSIM_THREADS / BWSIM_SHRINK. */
+    static ExperimentOptions fromEnv();
+};
+
+/** A printable table plus its numeric payload. */
+struct SeriesTable
+{
+    stats::TextTable table = stats::TextTable({"empty"});
+    std::vector<std::string> rowNames; ///< usually benchmarks (+ AVG)
+    std::vector<std::string> colNames; ///< configs or metrics
+    /** value[row][col]; the AVG row, when present, is the last row. */
+    std::vector<std::vector<double>> value;
+
+    double
+    at(const std::string &row, const std::string &col) const;
+};
+
+/** Resolve the benchmark subset of @p opts (with shrink applied). */
+std::vector<BenchmarkProfile>
+selectBenchmarks(const ExperimentOptions &opts);
+
+/** One baseline run per benchmark; reused by several figures. */
+std::vector<SimResult> baselineResults(const ExperimentOptions &opts);
+
+/** @name Figures and tables built from baseline runs */
+/**@{*/
+SeriesTable fig1StallsAndLatencies(const std::vector<SimResult> &base);
+SeriesTable fig4L2QueueOccupancy(const std::vector<SimResult> &base);
+SeriesTable fig5DramQueueOccupancy(const std::vector<SimResult> &base);
+SeriesTable fig7IssueStallDistribution(const std::vector<SimResult> &base);
+SeriesTable fig8L2StallDistribution(const std::vector<SimResult> &base);
+SeriesTable fig9L1StallDistribution(const std::vector<SimResult> &base);
+SeriesTable sec4DramEfficiency(const std::vector<SimResult> &base);
+/**@}*/
+
+/** @name Multi-config experiments (run their own simulations) */
+/**@{*/
+/** Table II: P-inf and P_DRAM speedups over baseline. */
+SeriesTable tab2SpeedupBounds(const ExperimentOptions &opts);
+/** Fig. 3: IPC (normalized) vs. fixed L1 miss latency. */
+SeriesTable fig3LatencySweep(const ExperimentOptions &opts,
+                             const std::vector<std::uint32_t> &latencies);
+/** Default Fig. 3 sweep points (0..800 step 100 plus 50). */
+std::vector<std::uint32_t> fig3DefaultLatencies();
+/** Default Fig. 3 benchmark subset (the paper's eight). */
+std::vector<std::string> fig3DefaultBenchmarks();
+/** Fig. 10: 4x scaling of L1 / L2 / DRAM / L1+L2 / L2+DRAM / All. */
+SeriesTable fig10DseScaling(const ExperimentOptions &opts);
+/** Fig. 11: core-frequency sweep (simulated stand-in for the paper's
+ *  real-GPU experiment); values are runtime-based speedups vs 1.4GHz. */
+SeriesTable fig11FrequencySweep(const ExperimentOptions &opts,
+                                const std::vector<double> &freqs_ghz);
+std::vector<double> fig11DefaultFrequencies();
+std::vector<std::string> fig11DefaultBenchmarks();
+/** Fig. 12: cost-effective configs 16+48 / 16+68 / 32+52 vs HBM. */
+SeriesTable fig12CostEffective(const ExperimentOptions &opts);
+/**@}*/
+
+/** @name Static tables (no simulation) */
+/**@{*/
+/** Table I: baseline configuration dump. */
+stats::TextTable tab1BaselineConfig();
+/** Table III: design-space summary (baseline / scaled / cost-eff). */
+stats::TextTable tab3DesignSpace();
+/** §VII overhead: area of the cost-effective configurations. */
+SeriesTable sec7AreaOverhead();
+/**@}*/
+
+} // namespace bwsim::exp
+
+#endif // BWSIM_CORE_EXPERIMENTS_HH

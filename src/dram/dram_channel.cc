@@ -1,0 +1,260 @@
+#include "dram/dram_channel.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+
+namespace bwsim
+{
+
+DramLegalityChecker::DramLegalityChecker(const DramTiming &timing,
+                                         std::uint32_t num_banks,
+                                         std::uint32_t burst_cycles)
+    : t(timing), burst(burst_cycles), banks(num_banks)
+{
+}
+
+void
+DramLegalityChecker::onCommand(DramCmd cmd, std::uint32_t bank, Cycle now)
+{
+    BankHist &b = banks.at(bank);
+    switch (cmd) {
+      case DramCmd::Activate:
+        bwsim_assert(!b.open, "ACT to open bank %u @%llu", bank,
+                     static_cast<unsigned long long>(now));
+        bwsim_assert(!b.everAct || now >= b.lastAct + t.tRC,
+                     "tRC violation on bank %u", bank);
+        bwsim_assert(!b.everPre || now >= b.lastPre + t.tRP,
+                     "tRP violation on bank %u", bank);
+        bwsim_assert(!everAnyAct || now >= lastAnyAct + t.tRRD,
+                     "tRRD violation on bank %u", bank);
+        b.lastAct = now;
+        b.everAct = true;
+        b.open = true;
+        lastAnyAct = now;
+        everAnyAct = true;
+        break;
+      case DramCmd::Precharge:
+        bwsim_assert(b.open, "PRE to closed bank %u", bank);
+        bwsim_assert(now >= b.lastAct + t.tRAS, "tRAS violation on bank %u",
+                     bank);
+        bwsim_assert(!b.everWrite ||
+                         now >= b.lastWrite + t.WL + burst + t.tWR,
+                     "tWR violation on bank %u", bank);
+        b.lastPre = now;
+        b.everPre = true;
+        b.open = false;
+        break;
+      case DramCmd::ReadCol:
+        bwsim_assert(b.open, "RD to closed bank %u", bank);
+        bwsim_assert(now >= b.lastAct + t.tRCD, "tRCD violation (RD) b%u",
+                     bank);
+        bwsim_assert(!everAnyCol || now >= lastAnyCol + t.tCCD,
+                     "tCCD violation (RD) b%u", bank);
+        bwsim_assert(!b.everWrite ||
+                         now >= b.lastWrite + t.WL + burst + t.tCDLR,
+                     "tCDLR violation b%u", bank);
+        b.lastRead = now;
+        b.everRead = true;
+        lastAnyCol = now;
+        everAnyCol = true;
+        break;
+      case DramCmd::WriteCol:
+        bwsim_assert(b.open, "WR to closed bank %u", bank);
+        bwsim_assert(now >= b.lastAct + t.tRCD, "tRCD violation (WR) b%u",
+                     bank);
+        bwsim_assert(!everAnyCol || now >= lastAnyCol + t.tCCD,
+                     "tCCD violation (WR) b%u", bank);
+        b.lastWrite = now;
+        b.everWrite = true;
+        lastAnyCol = now;
+        everAnyCol = true;
+        break;
+    }
+}
+
+DramChannel::DramChannel(const DramParams &params,
+                         MemFetchAllocator *allocator, int partition_id)
+    : cfg(params), alloc(allocator), partitionId(partition_id),
+      burstCycles(static_cast<std::uint32_t>(
+          divCeil(params.lineBytes, params.busBytesPerCycle))),
+      banks(params.numBanks),
+      returnQ(params.returnQueueEntries),
+      checker(params.timing, params.numBanks,
+              static_cast<std::uint32_t>(
+                  divCeil(params.lineBytes, params.busBytesPerCycle)))
+{
+    bwsim_assert(alloc, "DRAM channel needs a packet allocator");
+    bwsim_assert(isPowerOf2(cfg.lineBytes), "line size must be 2^n");
+    bwsim_assert(cfg.rowBytes >= cfg.lineBytes,
+                 "row smaller than a cache line");
+}
+
+void
+DramChannel::mapAddress(Addr line_addr, std::uint32_t &bank,
+                        std::uint64_t &row) const
+{
+    // Lines are interleaved across partitions; reconstruct this
+    // partition's local line index, then split into column within a
+    // row, bank, and row: consecutive rows of traffic sweep through a
+    // row's worth of lines in one bank before moving to the next bank.
+    std::uint64_t line_idx = (line_addr / cfg.lineBytes) /
+                             cfg.numPartitions;
+    std::uint64_t lines_per_row = cfg.rowBytes / cfg.lineBytes;
+    std::uint64_t row_idx = line_idx / lines_per_row;
+    bank = static_cast<std::uint32_t>(row_idx % cfg.numBanks);
+    row = row_idx / cfg.numBanks;
+}
+
+void
+DramChannel::push(MemFetch *mf)
+{
+    bwsim_assert(canAccept(), "push to full DRAM scheduler queue");
+    Request r;
+    r.mf = mf;
+    r.write = mf->isWrite();
+    mapAddress(mf->lineAddr, r.bank, r.row);
+    schedQ.push_back(r);
+}
+
+bool
+DramChannel::tryIssueColumn(double now_ps)
+{
+    if (cycle < chanColAllowedAt)
+        return false;
+    for (auto it = schedQ.begin(); it != schedQ.end(); ++it) {
+        Bank &b = banks[it->bank];
+        if (!b.open || b.row != it->row)
+            continue;
+        if (cycle < b.colAllowedAt)
+            continue;
+        if (!it->write && cycle < b.readColAfterWrite)
+            continue;
+        std::uint32_t cas = it->write ? cfg.timing.WL : cfg.timing.CL;
+        Cycle data_start = cycle + cas;
+        if (data_start < busFreeAt)
+            continue; // data bus occupied when our burst would begin
+        if (!it->write &&
+            returnQ.size() + returnsInFlight >= cfg.returnQueueEntries) {
+            continue; // no room to land the read data
+        }
+
+        // Issue the column command.
+        Cycle data_end = data_start + burstCycles;
+        busFreeAt = data_end;
+        chanColAllowedAt = cycle + cfg.timing.tCCD;
+        ctr.dataBusBusyCycles += burstCycles;
+        if (it->write) {
+            checker.onCommand(DramCmd::WriteCol, it->bank, cycle);
+            b.preAllowedAt =
+                std::max(b.preAllowedAt,
+                         data_end + cfg.timing.tWR);
+            b.readColAfterWrite = data_end + cfg.timing.tCDLR;
+            writeDrainPipe.push(it->mf, data_end);
+            ++ctr.writes;
+        } else {
+            checker.onCommand(DramCmd::ReadCol, it->bank, cycle);
+            readReturnPipe.push(it->mf,
+                                data_end + cfg.returnPipeLatency);
+            ++returnsInFlight;
+            ++ctr.reads;
+        }
+        (void)now_ps;
+        schedQ.erase(it);
+        return true;
+    }
+    return false;
+}
+
+bool
+DramChannel::tryIssueActivate()
+{
+    if (cycle < chanActAllowedAt)
+        return false;
+    for (auto &req : schedQ) {
+        Bank &b = banks[req.bank];
+        if (b.open)
+            continue;
+        if (cycle < b.actAllowedAt)
+            continue;
+        checker.onCommand(DramCmd::Activate, req.bank, cycle);
+        b.open = true;
+        b.row = req.row;
+        b.colAllowedAt = cycle + cfg.timing.tRCD;
+        b.preAllowedAt = std::max(b.preAllowedAt,
+                                  Cycle(cycle + cfg.timing.tRAS));
+        b.actAllowedAt = cycle + cfg.timing.tRC;
+        chanActAllowedAt = cycle + cfg.timing.tRRD;
+        ++ctr.activates;
+        return true;
+    }
+    return false;
+}
+
+bool
+DramChannel::tryIssuePrecharge()
+{
+    for (auto &req : schedQ) {
+        Bank &b = banks[req.bank];
+        if (!b.open || b.row == req.row)
+            continue;
+        if (cycle < b.preAllowedAt)
+            continue;
+        checker.onCommand(DramCmd::Precharge, req.bank, cycle);
+        b.open = false;
+        b.actAllowedAt = std::max(b.actAllowedAt,
+                                  Cycle(cycle + cfg.timing.tRP));
+        ++ctr.precharges;
+        return true;
+    }
+    return false;
+}
+
+void
+DramChannel::tick(double now_ps)
+{
+    ++cycle;
+    ++ctr.cycles;
+
+    // Retire completed write bursts (write data has left the bus).
+    while (writeDrainPipe.ready(cycle)) {
+        MemFetch *mf = writeDrainPipe.pop();
+        alloc->free(mf);
+    }
+
+    // Land completed reads in the bounded return queue; space was
+    // reserved at column-issue time.
+    while (readReturnPipe.ready(cycle)) {
+        MemFetch *mf = readReturnPipe.pop();
+        bool ok = returnQ.push(mf);
+        bwsim_assert(ok, "reserved DRAM return slot missing");
+        bwsim_assert(returnsInFlight > 0, "return reservation underflow");
+        --returnsInFlight;
+    }
+
+    if (schedQ.empty())
+        return;
+    ++ctr.pendingCycles;
+
+    // FR-FCFS: one command per cycle, column commands first.
+    if (tryIssueColumn(now_ps))
+        return;
+    if (tryIssueActivate())
+        return;
+    tryIssuePrecharge();
+}
+
+MemFetch *
+DramChannel::returnPop()
+{
+    return returnQ.pop();
+}
+
+bool
+DramChannel::drained() const
+{
+    return schedQ.empty() && returnQ.empty() && readReturnPipe.empty() &&
+           writeDrainPipe.empty() && returnsInFlight == 0;
+}
+
+} // namespace bwsim

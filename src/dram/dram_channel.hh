@@ -1,0 +1,196 @@
+/**
+ * @file
+ * One memory partition's GDDR5 channel: banks, FR-FCFS scheduling,
+ * a shared command bus (one command per cycle) and a shared data bus.
+ *
+ * Scheduling follows the paper's baseline First-Ready First-Come-
+ * First-Serve policy: the oldest request whose column command can
+ * legally issue right now (an open-row hit) wins; otherwise the oldest
+ * request that needs an activate (or precharge) gets one. Every issued
+ * command passes through an independent legality checker that panics
+ * on any timing-constraint violation, in every build.
+ *
+ * Bandwidth efficiency -- the fraction of pending-work cycles in which
+ * the data bus is actually transferring -- is the §IV-B1 statistic
+ * (41% average, 65% maximum in the paper).
+ */
+
+#ifndef BWSIM_DRAM_DRAM_CHANNEL_HH
+#define BWSIM_DRAM_DRAM_CHANNEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/dram_timing.hh"
+#include "mem/mem_fetch.hh"
+#include "sim/queue.hh"
+#include "stats/occupancy_hist.hh"
+
+namespace bwsim
+{
+
+/** DRAM command kinds (for the legality checker and stats). */
+enum class DramCmd : std::uint8_t
+{
+    Activate,
+    Precharge,
+    ReadCol,
+    WriteCol,
+};
+
+/** Independent re-checker of DRAM timing legality. */
+class DramLegalityChecker
+{
+  public:
+    explicit DramLegalityChecker(const DramTiming &t, std::uint32_t banks,
+                                 std::uint32_t burst_cycles);
+
+    /** Validate and record one command; panics on violation. */
+    void onCommand(DramCmd cmd, std::uint32_t bank, Cycle now);
+
+  private:
+    DramTiming t;
+    std::uint32_t burst;
+    struct BankHist
+    {
+        Cycle lastAct = 0;
+        Cycle lastPre = 0;
+        Cycle lastRead = 0;
+        Cycle lastWrite = 0;
+        bool everAct = false, everPre = false;
+        bool everRead = false, everWrite = false;
+        bool open = false;
+    };
+    std::vector<BankHist> banks;
+    Cycle lastAnyAct = 0;
+    bool everAnyAct = false;
+    Cycle lastAnyCol = 0;
+    bool everAnyCol = false;
+};
+
+/** Counters for one DRAM channel. */
+struct DramCounters
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t dataBusBusyCycles = 0;
+    std::uint64_t pendingCycles = 0; ///< cycles with >=1 queued request
+    std::uint64_t cycles = 0;
+
+    /** Bandwidth efficiency per §IV-B1. */
+    double
+    efficiency() const
+    {
+        return pendingCycles
+                   ? static_cast<double>(dataBusBusyCycles) /
+                         static_cast<double>(pendingCycles)
+                   : 0.0;
+    }
+
+    /** Fraction of column accesses that did not need a fresh activate. */
+    double
+    rowHitRate() const
+    {
+        std::uint64_t cols = reads + writes;
+        if (cols == 0)
+            return 0.0;
+        std::uint64_t acts = std::min(activates, cols);
+        return static_cast<double>(cols - acts) /
+               static_cast<double>(cols);
+    }
+};
+
+class DramChannel
+{
+  public:
+    DramChannel(const DramParams &params, MemFetchAllocator *allocator,
+                int partition_id);
+
+    const DramParams &params() const { return cfg; }
+    const DramCounters &counters() const { return ctr; }
+
+    /** Room in the FR-FCFS scheduler queue? */
+    bool canAccept() const { return schedQ.size() < cfg.schedQueueEntries; }
+
+    /** Enqueue a request (read fetch or writeback). */
+    void push(MemFetch *mf);
+
+    /** One command-clock cycle: retire data, issue one command. */
+    void tick(double now_ps);
+
+    /** @name Read-return queue toward the L2 fill path */
+    /**@{*/
+    bool returnReady() const { return !returnQ.empty(); }
+    MemFetch *returnFront() { return returnQ.front(); }
+    MemFetch *returnPop();
+    /**@}*/
+
+    std::size_t schedQueueSize() const { return schedQ.size(); }
+    std::size_t schedQueueCapacity() const { return cfg.schedQueueEntries; }
+
+    /** Sample scheduler-queue occupancy (the paper's Fig. 5 metric). */
+    void
+    sampleOccupancy(stats::OccupancyHist &hist) const
+    {
+        hist.sample(schedQ.size(), cfg.schedQueueEntries);
+    }
+
+    /** True when no request, burst or return is anywhere in flight. */
+    bool drained() const;
+
+  private:
+    struct Request
+    {
+        MemFetch *mf = nullptr;
+        std::uint32_t bank = 0;
+        std::uint64_t row = 0;
+        bool write = false;
+    };
+
+    struct Bank
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        Cycle actAllowedAt = 0;
+        Cycle colAllowedAt = 0;   ///< earliest column command (tRCD etc.)
+        Cycle preAllowedAt = 0;
+        Cycle readColAfterWrite = 0; ///< tCDLR gate
+    };
+
+    void mapAddress(Addr line_addr, std::uint32_t &bank,
+                    std::uint64_t &row) const;
+    bool tryIssueColumn(double now_ps);
+    bool tryIssueActivate();
+    bool tryIssuePrecharge();
+
+    DramParams cfg;
+    MemFetchAllocator *alloc;
+    int partitionId;
+    std::uint32_t burstCycles;
+
+    Cycle cycle = 0;
+    std::deque<Request> schedQ;
+    std::vector<Bank> banks;
+    Cycle chanActAllowedAt = 0; ///< tRRD gate
+    Cycle chanColAllowedAt = 0; ///< tCCD gate
+    Cycle busFreeAt = 0;        ///< data-bus busy-until
+
+    /** Reads travelling CL + burst + return pipe. */
+    DelayPipe<MemFetch *> readReturnPipe;
+    std::uint32_t returnsInFlight = 0;
+    BoundedQueue<MemFetch *> returnQ;
+    /** Writes retiring at data-end (packet freed there). */
+    DelayPipe<MemFetch *> writeDrainPipe;
+
+    DramLegalityChecker checker;
+    DramCounters ctr;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_DRAM_DRAM_CHANNEL_HH

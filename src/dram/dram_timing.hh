@@ -1,0 +1,58 @@
+/**
+ * @file
+ * GDDR5 timing and geometry parameters (paper Table I).
+ *
+ * All timing values are in DRAM command-clock cycles (924 MHz in the
+ * baseline). The data bus is quad-pumped: busBytesPerCycle already
+ * includes the 4x data rate, so the baseline 64-bit (2 x 32-bit chips)
+ * partition bus moves 32 bytes per command cycle and a 128-byte line
+ * occupies the bus for 4 cycles.
+ */
+
+#ifndef BWSIM_DRAM_DRAM_TIMING_HH
+#define BWSIM_DRAM_DRAM_TIMING_HH
+
+#include <cstdint>
+
+namespace bwsim
+{
+
+/** DRAM timing constraints in command-clock cycles (Table I). */
+struct DramTiming
+{
+    std::uint32_t tCCD = 2;   ///< column-to-column (any bank)
+    std::uint32_t tRRD = 6;   ///< activate-to-activate, different banks
+    std::uint32_t tRCD = 12;  ///< activate-to-column
+    std::uint32_t tRAS = 28;  ///< activate-to-precharge, same bank
+    std::uint32_t tRP = 12;   ///< precharge-to-activate, same bank
+    std::uint32_t tRC = 40;   ///< activate-to-activate, same bank
+    std::uint32_t CL = 12;    ///< read column-to-data latency
+    std::uint32_t WL = 4;     ///< write column-to-data latency
+    std::uint32_t tCDLR = 5;  ///< write-data-end to read column, same bank
+    std::uint32_t tWR = 12;   ///< write-data-end to precharge, same bank
+};
+
+/** Geometry and queueing of one memory partition's DRAM channel. */
+struct DramParams
+{
+    DramTiming timing;
+    std::uint32_t numBanks = 16;          ///< banks per chip (Table I)
+    std::uint32_t rowBytes = 4096;        ///< row-buffer footprint
+    std::uint32_t busBytesPerCycle = 32;  ///< data per command cycle
+    std::uint32_t lineBytes = 128;
+    std::uint32_t schedQueueEntries = 16; ///< FR-FCFS scheduler queue
+    std::uint32_t returnQueueEntries = 32;
+    /**
+     * Fixed pipeline latency on the return path (off-chip link, PHY,
+     * controller frontend), in DRAM cycles. Calibrated so that an
+     * uncongested DRAM access costs ~100 core cycles beyond the L2
+     * (paper §II-A).
+     */
+    std::uint32_t returnPipeLatency = 46;
+    /** Partitions in the system (for address de-interleaving). */
+    std::uint32_t numPartitions = 6;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_DRAM_DRAM_TIMING_HH

@@ -1,0 +1,151 @@
+#include "dram/memory_partition.hh"
+
+namespace bwsim
+{
+
+MemoryPartition::MemoryPartition(const PartitionParams &params,
+                                 MemFetchAllocator *allocator,
+                                 Interconnect *icnt_)
+    : cfg(params), alloc(allocator), icnt(icnt_)
+{
+    bwsim_assert(alloc && icnt, "partition %d needs allocator and icnt",
+                 cfg.partitionId);
+    banks.reserve(cfg.banksPerPartition);
+    accessQ.reserve(cfg.banksPerPartition);
+    for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b) {
+        CacheParams p = cfg.l2Bank;
+        p.name = csprintf("l2_p%u_b%u", cfg.partitionId, b);
+        banks.push_back(std::make_unique<CacheModel>(p, alloc, -1));
+        accessQ.emplace_back(cfg.accessQueueEntries);
+    }
+    if (!cfg.idealDram) {
+        DramParams dp = cfg.dram;
+        dp.numPartitions = cfg.numPartitions;
+        channel = std::make_unique<DramChannel>(dp, alloc, cfg.partitionId);
+    }
+}
+
+void
+MemoryPartition::pullFromNetwork(std::uint32_t b)
+{
+    std::uint32_t gid = globalBankId(b);
+    auto &req = icnt->request();
+    if (!req.ejectReady(gid) || accessQ[b].full())
+        return;
+    MemFetch *mf = req.ejectPop(gid);
+    bool ok = accessQ[b].push(mf, l2Cycle + cfg.ropLatency);
+    bwsim_assert(ok, "access queue overflow in partition %d",
+                 cfg.partitionId);
+}
+
+void
+MemoryPartition::tickL2(double now_ps)
+{
+    ++l2Cycle;
+
+    for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b) {
+        CacheModel &bank = *banks[b];
+        std::uint32_t gid = globalBankId(b);
+
+        // 1. Response queue -> reply network (one packet per cycle).
+        if (bank.respQueueReady(l2Cycle) &&
+            icnt->reply().canAccept(gid)) {
+            MemFetch *mf = bank.respQueuePop();
+            bwsim_assert(mf->coreId >= 0,
+                         "reply with no destination core: %s",
+                         mf->toString().c_str());
+            icnt->reply().inject(gid, static_cast<std::uint32_t>(mf->coreId),
+                                 mf, mf->replyBytes(), now_ps);
+        }
+
+        // 2. One fill per cycle from DRAM (or the ideal pipe).
+        if (cfg.idealDram) {
+            if (idealPipe.ready(l2Cycle)) {
+                MemFetch *mf = idealPipe.front();
+                if (static_cast<std::uint32_t>(mf->l2BankId) == gid) {
+                    std::vector<MshrWaiter> unused;
+                    if (bank.fill(mf, l2Cycle, now_ps, unused))
+                        idealPipe.pop();
+                }
+            }
+        } else {
+            if (channel->returnReady()) {
+                MemFetch *mf = channel->returnFront();
+                if (static_cast<std::uint32_t>(mf->l2BankId) == gid) {
+                    std::vector<MshrWaiter> unused;
+                    if (bank.fill(mf, l2Cycle, now_ps, unused))
+                        channel->returnPop();
+                }
+            }
+        }
+
+        // 3. Process the head of the access queue.
+        if (accessQ[b].ready(l2Cycle)) {
+            MemFetch *mf = accessQ[b].front();
+            if (mf->tAtL2 == 0)
+                mf->tAtL2 = now_ps;
+            CacheAccess acc;
+            acc.lineAddr = mf->lineAddr;
+            acc.write = mf->isWrite();
+            acc.storeBytes = mf->storeBytes;
+            acc.warpId = mf->warpId;
+            acc.slotId = mf->slotId;
+            acc.isInstFetch = mf->isInstFetch();
+            acc.mf = mf;
+            CacheOutcome out = bank.access(acc, l2Cycle, now_ps);
+            if (!isStallOutcome(out))
+                accessQ[b].pop();
+        }
+
+        // 4. Miss queue -> DRAM scheduler queue (one per cycle).
+        if (!bank.missQueueEmpty()) {
+            MemFetch *mf = bank.missQueueFront();
+            if (cfg.idealDram) {
+                mf->l2BankId = static_cast<int>(gid);
+                bank.missQueuePop();
+                if (mf->isWrite()) {
+                    alloc->free(mf); // infinite-bandwidth write sink
+                } else {
+                    idealPipe.push(mf, l2Cycle + cfg.idealDramLatency);
+                }
+            } else if (channel->canAccept()) {
+                mf->l2BankId = static_cast<int>(gid);
+                bank.missQueuePop();
+                channel->push(mf);
+            }
+        }
+
+        // 5. Pull newly ejected requests into the access queue.
+        pullFromNetwork(b);
+
+        accessQHist.sample(accessQ[b].size(), accessQ[b].capacity());
+    }
+}
+
+void
+MemoryPartition::tickDram(double now_ps)
+{
+    ++dramCycle;
+    if (cfg.idealDram)
+        return;
+    channel->tick(now_ps);
+    channel->sampleOccupancy(dramQHist);
+}
+
+bool
+MemoryPartition::drained() const
+{
+    for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b) {
+        if (!accessQ[b].empty() || !banks[b]->missQueueEmpty() ||
+            banks[b]->mshrSize() > 0 || banks[b]->respQueueSize() > 0) {
+            return false;
+        }
+    }
+    if (channel && !channel->drained())
+        return false;
+    if (!idealPipe.empty())
+        return false;
+    return true;
+}
+
+} // namespace bwsim

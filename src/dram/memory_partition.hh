@@ -1,0 +1,117 @@
+/**
+ * @file
+ * MemoryPartition: one of the six memory partitions of Fig. 2 -- two
+ * L2 banks (with their access queues, MSHRs, miss queues and response
+ * queues) in the interconnect clock domain, and a GDDR5 channel in the
+ * DRAM clock domain.
+ *
+ * Per-L2-cycle flow, per bank:
+ *   1. drain the bank's response queue into the reply crossbar
+ *   2. apply one DRAM (or ideal-DRAM) fill
+ *   3. process the head of the access queue (stall causes counted by
+ *      the CacheModel: bp-ICNT / port / cache / mshr / bp-DRAM)
+ *   4. drain the bank's miss queue toward the DRAM scheduler queue
+ *   5. pull ejected request-network packets into the access queue
+ *
+ * The access queue applies the fixed L2 service latency ("ropLatency")
+ * that makes an uncongested L1 miss cost ~120 core cycles (§II-A);
+ * the DRAM channel adds ~100 more for L2 misses.
+ *
+ * In ideal-DRAM mode (the paper's P_DRAM configuration in Table II)
+ * the channel is replaced by an unbounded fixed-latency pipe: the L2
+ * miss path never back-pressures and every fill arrives a constant
+ * ~100 core cycles later.
+ */
+
+#ifndef BWSIM_DRAM_MEMORY_PARTITION_HH
+#define BWSIM_DRAM_MEMORY_PARTITION_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "dram/dram_channel.hh"
+#include "icnt/crossbar.hh"
+#include "sim/queue.hh"
+#include "stats/occupancy_hist.hh"
+
+namespace bwsim
+{
+
+struct PartitionParams
+{
+    int partitionId = 0;
+    std::uint32_t banksPerPartition = 2;
+    std::uint32_t numPartitions = 6;
+    /** Per-bank L2 slice parameters (size is per bank). */
+    CacheParams l2Bank;
+    std::uint32_t accessQueueEntries = 8;
+    /** Fixed L2 service pipeline latency in L2 cycles. */
+    std::uint32_t ropLatency = 52;
+    DramParams dram;
+    /** P_DRAM mode: constant-latency, infinite-bandwidth DRAM. */
+    bool idealDram = false;
+    /** Ideal-DRAM latency in L2 cycles (~100 core cycles). */
+    std::uint32_t idealDramLatency = 50;
+};
+
+class MemoryPartition
+{
+  public:
+    MemoryPartition(const PartitionParams &params,
+                    MemFetchAllocator *allocator, Interconnect *icnt);
+
+    const PartitionParams &params() const { return cfg; }
+
+    /** Global L2 bank id of local bank @p b. */
+    std::uint32_t
+    globalBankId(std::uint32_t b) const
+    {
+        return cfg.partitionId * cfg.banksPerPartition + b;
+    }
+
+    /** One interconnect/L2 clock cycle. */
+    void tickL2(double now_ps);
+
+    /** One DRAM command-clock cycle. */
+    void tickDram(double now_ps);
+
+    /** All queues, banks and the channel are empty. */
+    bool drained() const;
+
+    /** @name Instrumentation */
+    /**@{*/
+    const CacheModel &l2Bank(std::uint32_t b) const { return *banks.at(b); }
+    CacheModel &l2Bank(std::uint32_t b) { return *banks.at(b); }
+    const DramChannel &dram() const { return *channel; }
+    const stats::OccupancyHist &l2AccessQueueHist() const
+    {
+        return accessQHist;
+    }
+    const stats::OccupancyHist &dramQueueHist() const { return dramQHist; }
+    /**@}*/
+
+  private:
+    void pullFromNetwork(std::uint32_t b);
+
+    PartitionParams cfg;
+    MemFetchAllocator *alloc;
+    Interconnect *icnt;
+
+    std::vector<std::unique_ptr<CacheModel>> banks;
+    /** Per-bank access queue with the fixed L2 service latency. */
+    std::vector<TimedQueue<MemFetch *>> accessQ;
+    std::unique_ptr<DramChannel> channel;
+    /** Ideal-DRAM pipe (P_DRAM mode). */
+    DelayPipe<MemFetch *> idealPipe;
+
+    Cycle l2Cycle = 0;
+    Cycle dramCycle = 0;
+
+    stats::OccupancyHist accessQHist;
+    stats::OccupancyHist dramQHist;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_DRAM_MEMORY_PARTITION_HH

@@ -1,0 +1,390 @@
+#include "gpu/gpu.hh"
+
+#include <algorithm>
+
+#include "workloads/trace_gen.hh"
+
+namespace bwsim
+{
+
+Gpu::Gpu(const GpuConfig &config, const BenchmarkProfile &profile)
+    : cfg(config), prof(profile), amap(cfg.addressMap())
+{
+    cfg.validate();
+    bwsim_assert(prof.warpsPerCta * prof.maxCtasPerCore <=
+                     cfg.maxWarpsPerCore,
+                 "profile '%s' oversubscribes warp contexts (%d x %d > %d)",
+                 prof.name.c_str(), prof.warpsPerCta, prof.maxCtasPerCore,
+                 cfg.maxWarpsPerCore);
+
+    ctasRemaining = prof.numCtas;
+
+    for (int c = 0; c < cfg.numCores; ++c) {
+        CoreParams cp = cfg.coreParams(c);
+        cp.maxCtasResident = prof.maxCtasPerCore;
+        cores.push_back(std::make_unique<SmCore>(cp, &alloc));
+        cores.back()->setWorkSource(this);
+    }
+
+    if (cfg.mode == MemoryMode::Normal ||
+        cfg.mode == MemoryMode::IdealDram) {
+        icnt = std::make_unique<Interconnect>(cfg.reqNetParams(),
+                                              cfg.replyNetParams());
+        for (std::uint32_t p = 0; p < cfg.numPartitions; ++p) {
+            parts.push_back(std::make_unique<MemoryPartition>(
+                cfg.partitionParams(static_cast<int>(p)), &alloc,
+                icnt.get()));
+        }
+    } else {
+        idealPipesFast.resize(cfg.numCores);
+        idealPipesSlow.resize(cfg.numCores);
+        if (cfg.mode == MemoryMode::PerfectMem) {
+            perfectL2Tags = std::make_unique<TagArray>(
+                cfg.l2TotalSizeBytes, cfg.lineBytes, cfg.l2Assoc);
+        }
+    }
+
+    // Intra-instant ordering: drains first (DRAM), then the crossbar
+    // and L2, then the cores that feed them.
+    dramDomain = clocks.addDomain("dram", cfg.dramClockMhz,
+                                  [this] { dramTick(); });
+    icntDomain = clocks.addDomain("icnt", cfg.icntClockMhz,
+                                  [this] { icntTick(); });
+    coreDomain = clocks.addDomain("core", cfg.coreClockMhz,
+                                  [this] { coreTick(); });
+}
+
+Gpu::~Gpu() = default;
+
+CtaWork
+Gpu::takeCta(int core_id)
+{
+    bwsim_assert(ctasRemaining > 0, "takeCta with no work left");
+    --ctasRemaining;
+    std::uint64_t seq = ctaSeq++;
+    CtaWork work;
+    work.numWarps = prof.warpsPerCta;
+    const BenchmarkProfile *profile = &prof;
+    std::uint32_t line = cfg.lineBytes;
+    work.makeCursor = [profile, core_id, seq, line](int warp_in_cta) {
+        return makeSyntheticCursor(*profile, core_id, seq, warp_in_cta,
+                                   line);
+    };
+    return work;
+}
+
+void
+Gpu::serviceIdealMemory(int core_id)
+{
+    // Infinite-bandwidth backend: drain every miss the core produced
+    // and schedule its response at the mode's fixed latency.
+    SmCore &core = *cores[core_id];
+    double now_ps = clocks.nowPs();
+
+    while (core.hasOutgoing()) {
+        MemFetch *mf = core.peekOutgoing();
+        core.popOutgoing();
+        if (mf->isWrite()) {
+            alloc.free(mf); // stores vanish into the ideal sink
+            continue;
+        }
+        if (mf->tLeftL1 == 0)
+            mf->tLeftL1 = now_ps;
+        bool fast = false;
+        std::uint32_t lat;
+        if (cfg.mode == MemoryMode::PerfectMem) {
+            ProbeOutcome probe = perfectL2Tags->probe(mf->lineAddr);
+            if (probe.result == ProbeResult::Hit) {
+                perfectL2Tags->accessHit(mf->lineAddr, probe.way,
+                                         coreCycleCount, false);
+                mf->servicedBy = ServicedBy::L2;
+                lat = cfg.perfectL2Latency;
+                fast = true;
+            } else {
+                bwsim_assert(probe.result != ProbeResult::MissNoLine,
+                             "perfect L2 tags can never be reservation "
+                             "limited");
+                perfectL2Tags->reserve(mf->lineAddr, probe.way,
+                                       coreCycleCount);
+                perfectL2Tags->fill(mf->lineAddr, coreCycleCount, false);
+                mf->servicedBy = ServicedBy::Dram;
+                lat = cfg.perfectDramLatency;
+            }
+        } else { // FixedL1Lat
+            mf->servicedBy = ServicedBy::Dram;
+            lat = cfg.fixedL1MissLatency;
+        }
+        auto &pipe = fast ? idealPipesFast[core_id]
+                          : idealPipesSlow[core_id];
+        pipe.push(mf, coreCycleCount + lat);
+    }
+
+    for (auto *pipe : {&idealPipesFast[core_id],
+                       &idealPipesSlow[core_id]}) {
+        while (pipe->ready(coreCycleCount)) {
+            MemFetch *mf = pipe->pop();
+            core.deliverResponse(mf, clocks.nowPs());
+        }
+    }
+}
+
+void
+Gpu::drainCoreOutgoing(int core_id)
+{
+    SmCore &core = *cores[core_id];
+    if (!core.hasOutgoing())
+        return;
+    auto &req = icnt->request();
+    if (!req.canAccept(static_cast<std::uint32_t>(core_id)))
+        return;
+    MemFetch *mf = core.peekOutgoing();
+    mf->partitionId = static_cast<int>(amap.partitionOf(mf->lineAddr));
+    mf->l2BankId = static_cast<int>(amap.bankOf(mf->lineAddr));
+    core.popOutgoing();
+    if (mf->tLeftL1 == 0)
+        mf->tLeftL1 = clocks.nowPs();
+    req.inject(static_cast<std::uint32_t>(core_id),
+               static_cast<std::uint32_t>(mf->l2BankId), mf,
+               mf->requestBytes(), clocks.nowPs());
+}
+
+void
+Gpu::coreTick()
+{
+    ++coreCycleCount;
+    double now_ps = clocks.nowPs();
+    for (int c = 0; c < cfg.numCores; ++c) {
+        if (icnt) {
+            // One response per cycle from the response FIFO.
+            auto &reply = icnt->reply();
+            if (reply.ejectReady(static_cast<std::uint32_t>(c))) {
+                MemFetch *mf =
+                    reply.ejectPop(static_cast<std::uint32_t>(c));
+                cores[c]->deliverResponse(mf, now_ps);
+            }
+        } else {
+            serviceIdealMemory(c);
+        }
+
+        cores[c]->tick(now_ps);
+
+        if (icnt)
+            drainCoreOutgoing(c);
+        else
+            serviceIdealMemory(c);
+    }
+}
+
+void
+Gpu::icntTick()
+{
+    if (!icnt)
+        return;
+    double now_ps = clocks.nowPs();
+    icnt->tick();
+    for (auto &p : parts)
+        p->tickL2(now_ps);
+}
+
+void
+Gpu::dramTick()
+{
+    if (parts.empty())
+        return;
+    double now_ps = clocks.nowPs();
+    for (auto &p : parts)
+        p->tickDram(now_ps);
+}
+
+bool
+Gpu::allWorkDone() const
+{
+    if (ctasRemaining > 0)
+        return false;
+    for (const auto &c : cores)
+        if (!c->done())
+            return false;
+    if (alloc.outstanding() != 0)
+        return false;
+    if (icnt && icnt->packetsInFlight() != 0)
+        return false;
+    for (const auto &p : parts)
+        if (!p->drained())
+            return false;
+    return true;
+}
+
+void
+Gpu::runCycles(std::uint64_t core_cycles)
+{
+    std::uint64_t target = coreCycleCount + core_cycles;
+    while (coreCycleCount < target)
+        clocks.step();
+}
+
+SimResult
+Gpu::run()
+{
+    while (!allWorkDone()) {
+        if (coreCycleCount >= cfg.maxCoreCycles) {
+            resultTimedOut = true;
+            warn("simulation of '%s' on '%s' hit the %llu-cycle cap",
+                 prof.name.c_str(), cfg.name.c_str(),
+                 static_cast<unsigned long long>(cfg.maxCoreCycles));
+            break;
+        }
+        // Step in bursts to keep the done-check off the critical path.
+        std::uint64_t target = coreCycleCount + 64;
+        while (coreCycleCount < target)
+            clocks.step();
+    }
+    return harvest();
+}
+
+SimResult
+Gpu::harvest() const
+{
+    SimResult r;
+    r.benchmark = prof.name;
+    r.config = cfg.name;
+    r.coreCycles = coreCycleCount;
+    r.elapsedPs = clocks.nowPs();
+    r.timedOut = resultTimedOut;
+
+    // Core-side aggregation.
+    std::uint64_t active_cycles = 0;
+    std::uint64_t stall_cycles = 0;
+    std::array<std::uint64_t, numIssueStallCauses> stalls{};
+    double mem_lat_sum = 0, l2_lat_sum = 0;
+    std::uint64_t mem_lat_n = 0, l2_lat_n = 0;
+    std::uint64_t l1_accesses = 0;
+    std::uint64_t l1_read_hits = 0, l1_read_misses = 0, l1_merges = 0;
+    std::array<std::uint64_t, numCacheStallCauses> l1_stalls{};
+
+    for (const auto &core : cores) {
+        const CoreCounters &cc = core->counters();
+        r.warpInstsIssued += cc.issuedInsts;
+        active_cycles += cc.activeCycles;
+        stall_cycles += cc.totalIssueStalls();
+        for (unsigned i = 0; i < numIssueStallCauses; ++i)
+            stalls[i] += cc.issueStalls[i];
+        mem_lat_sum += cc.memLatSum;
+        mem_lat_n += cc.memLatCount;
+        l2_lat_sum += cc.l2HitLatSum;
+        l2_lat_n += cc.l2HitLatCount;
+
+        const CacheCounters &l1 = core->l1d().counters();
+        l1_accesses += l1.accesses;
+        l1_read_hits += l1.readHits;
+        l1_read_misses += l1.readMisses;
+        l1_merges += l1.mshrMerges;
+        for (unsigned i = 0; i < numCacheStallCauses; ++i)
+            l1_stalls[i] += l1.stallCycles[i];
+    }
+
+    r.ipc = r.coreCycles
+                ? static_cast<double>(r.warpInstsIssued) /
+                      static_cast<double>(r.coreCycles)
+                : 0.0;
+    r.perf = r.elapsedPs > 0
+                 ? static_cast<double>(r.warpInstsIssued) / r.elapsedPs
+                 : 0.0;
+    r.issueStallFrac =
+        active_cycles
+            ? static_cast<double>(stall_cycles) /
+                  static_cast<double>(active_cycles)
+            : 0.0;
+    if (stall_cycles) {
+        for (unsigned i = 0; i < numIssueStallCauses; ++i) {
+            r.issueStallDist[i] = static_cast<double>(stalls[i]) /
+                                  static_cast<double>(stall_cycles);
+        }
+    }
+    r.aml = mem_lat_n ? mem_lat_sum / static_cast<double>(mem_lat_n) : 0.0;
+    r.l2Ahl = l2_lat_n ? l2_lat_sum / static_cast<double>(l2_lat_n) : 0.0;
+
+    r.l1Accesses = l1_accesses;
+    std::uint64_t l1_reads = l1_read_hits + l1_read_misses + l1_merges;
+    // Merged accesses are satisfied by an in-flight fill: they add no
+    // traffic to the next level, so they do not count as misses.
+    r.l1MissRate = l1_reads ? static_cast<double>(l1_read_misses) /
+                                  static_cast<double>(l1_reads)
+                            : 0.0;
+    std::uint64_t l1_stall_total = 0;
+    for (auto s : l1_stalls)
+        l1_stall_total += s;
+    r.l1StallCycles = l1_stall_total;
+    if (l1_stall_total) {
+        for (unsigned i = 0; i < numCacheStallCauses; ++i) {
+            r.l1StallDist[i] = static_cast<double>(l1_stalls[i]) /
+                               static_cast<double>(l1_stall_total);
+        }
+    }
+
+    // Memory-side aggregation (absent in ideal modes).
+    stats::OccupancyHist l2q, dramq;
+    std::array<std::uint64_t, numCacheStallCauses> l2_stalls{};
+    std::uint64_t l2_read_hits = 0, l2_read_misses = 0, l2_merges = 0;
+    std::uint64_t l2_accesses = 0;
+    std::uint64_t bus_busy = 0, pending = 0;
+    std::uint64_t act = 0, cols = 0;
+
+    for (const auto &p : parts) {
+        l2q.merge(p->l2AccessQueueHist());
+        dramq.merge(p->dramQueueHist());
+        for (std::uint32_t b = 0; b < cfg.l2BanksPerPartition; ++b) {
+            const CacheCounters &cc = p->l2Bank(b).counters();
+            l2_accesses += cc.accesses;
+            l2_read_hits += cc.readHits;
+            l2_read_misses += cc.readMisses;
+            l2_merges += cc.mshrMerges;
+            for (unsigned i = 0; i < numCacheStallCauses; ++i)
+                l2_stalls[i] += cc.stallCycles[i];
+        }
+        if (cfg.mode == MemoryMode::Normal) {
+            const DramCounters &dc = p->dram().counters();
+            bus_busy += dc.dataBusBusyCycles;
+            pending += dc.pendingCycles;
+            act += dc.activates;
+            cols += dc.reads + dc.writes;
+            r.dramReads += dc.reads;
+            r.dramWrites += dc.writes;
+        }
+    }
+
+    for (unsigned i = 0; i < stats::numOccBands; ++i) {
+        auto band = static_cast<stats::OccBand>(i);
+        r.l2AccessQueueOcc[i] = l2q.fraction(band);
+        r.dramQueueOcc[i] = dramq.fraction(band);
+    }
+    r.l2Accesses = l2_accesses;
+    std::uint64_t l2_reads = l2_read_hits + l2_read_misses + l2_merges;
+    r.l2MissRate = l2_reads ? static_cast<double>(l2_read_misses) /
+                                  static_cast<double>(l2_reads)
+                            : 0.0;
+    r.l2ReadHits = l2_read_hits;
+    r.l2ReadMisses = l2_read_misses;
+    r.l2Merges = l2_merges;
+    std::uint64_t l2_stall_total = 0;
+    for (auto s : l2_stalls)
+        l2_stall_total += s;
+    r.l2StallCycles = l2_stall_total;
+    if (l2_stall_total) {
+        for (unsigned i = 0; i < numCacheStallCauses; ++i) {
+            r.l2StallDist[i] = static_cast<double>(l2_stalls[i]) /
+                               static_cast<double>(l2_stall_total);
+        }
+    }
+    r.dramEfficiency =
+        pending ? static_cast<double>(bus_busy) /
+                      static_cast<double>(pending)
+                : 0.0;
+    if (cols) {
+        std::uint64_t hits = cols > act ? cols - act : 0;
+        r.dramRowHitRate =
+            static_cast<double>(hits) / static_cast<double>(cols);
+    }
+    return r;
+}
+
+} // namespace bwsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Gpu: the full modelled chip -- 15 SIMT cores, the two crossbar
+ * networks, six memory partitions (12 L2 banks + 6 GDDR5 channels) --
+ * advanced by a three-domain clock (core / crossbar+L2 / DRAM).
+ *
+ * The Gpu is also the WorkSource feeding CTAs from the selected
+ * BenchmarkProfile to the cores, and implements the paper's three
+ * ideal-memory modes (P-inf, P_DRAM, fixed-L1-miss-latency) so the
+ * bounding experiments of Table II and Fig. 3 are plain configs.
+ */
+
+#ifndef BWSIM_GPU_GPU_HH
+#define BWSIM_GPU_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/tag_array.hh"
+#include "dram/memory_partition.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/sim_result.hh"
+#include "icnt/crossbar.hh"
+#include "mem/addr_map.hh"
+#include "mem/mem_fetch.hh"
+#include "sim/clock.hh"
+#include "smcore/sm_core.hh"
+#include "workloads/profile.hh"
+
+namespace bwsim
+{
+
+class Gpu : public WorkSource
+{
+  public:
+    Gpu(const GpuConfig &config, const BenchmarkProfile &profile);
+    ~Gpu() override;
+
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
+
+    /** Run to completion (or the safety cycle cap) and harvest stats. */
+    SimResult run();
+
+    /** Advance a bounded number of core cycles (tests/debugging). */
+    void runCycles(std::uint64_t core_cycles);
+
+    /** @name WorkSource (CTA distribution to cores) */
+    /**@{*/
+    bool hasWork() const override { return ctasRemaining > 0; }
+    CtaWork takeCta(int core_id) override;
+    /**@}*/
+
+    /** @name Introspection for tests and the analysis framework */
+    /**@{*/
+    const GpuConfig &config() const { return cfg; }
+    const BenchmarkProfile &profile() const { return prof; }
+    SmCore &core(int i) { return *cores.at(i); }
+    MemoryPartition &partition(int i) { return *parts.at(i); }
+    Interconnect *interconnect() { return icnt.get(); }
+    const MemFetchAllocator &allocator() const { return alloc; }
+    std::uint64_t coreCycles() const { return coreCycleCount; }
+    bool allWorkDone() const;
+    SimResult harvest() const;
+    /**@}*/
+
+  private:
+    void coreTick();
+    void icntTick();
+    void dramTick();
+    void serviceIdealMemory(int core_id);
+    void drainCoreOutgoing(int core_id);
+
+    GpuConfig cfg;
+    BenchmarkProfile prof;
+    AddressMap amap;
+    MemFetchAllocator alloc;
+
+    MultiClock clocks;
+    std::size_t coreDomain = 0, icntDomain = 0, dramDomain = 0;
+    std::uint64_t coreCycleCount = 0;
+
+    std::vector<std::unique_ptr<SmCore>> cores;
+    std::unique_ptr<Interconnect> icnt;
+    std::vector<std::unique_ptr<MemoryPartition>> parts;
+
+    /**
+     * Ideal below-L1 memory (PerfectMem / FixedL1Lat modes). Two pipes
+     * per core -- one per constant latency class (P-inf L2 hits vs
+     * DRAM) -- so the FIFO pipes never delay a fast response behind a
+     * slow one.
+     */
+    std::vector<DelayPipe<MemFetch *>> idealPipesFast; ///< per core
+    std::vector<DelayPipe<MemFetch *>> idealPipesSlow; ///< per core
+    std::unique_ptr<TagArray> perfectL2Tags;
+
+    int ctasRemaining = 0;
+    std::uint64_t ctaSeq = 0;
+    bool resultTimedOut = false;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_GPU_GPU_HH

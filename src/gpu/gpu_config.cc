@@ -1,0 +1,349 @@
+#include "gpu/gpu_config.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace bwsim
+{
+
+CacheParams
+GpuConfig::l1dParams() const
+{
+    CacheParams p;
+    p.name = "l1d";
+    p.sizeBytes = l1dSizeBytes;
+    p.lineBytes = lineBytes;
+    p.assoc = l1dAssoc;
+    p.writePolicy = WritePolicy::WriteEvict;
+    p.mshrEntries = l1dMshrEntries;
+    p.mshrMaxMerge = l1dMshrMerge;
+    p.missQueueEntries = l1dMissQueue;
+    p.respQueueEntries = 0;
+    p.hitLatency = l1dHitLatency;
+    p.portBytesPerCycle = 0;
+    return p;
+}
+
+CacheParams
+GpuConfig::l1iParams() const
+{
+    CacheParams p;
+    p.name = "l1i";
+    p.sizeBytes = l1iSizeBytes;
+    p.lineBytes = lineBytes;
+    p.assoc = l1iAssoc;
+    p.writePolicy = WritePolicy::ReadOnly;
+    p.mshrEntries = l1iMshrEntries;
+    p.mshrMaxMerge = 8;
+    p.missQueueEntries = l1iMissQueue;
+    p.respQueueEntries = 0;
+    p.hitLatency = 1;
+    p.portBytesPerCycle = 0;
+    return p;
+}
+
+CacheParams
+GpuConfig::l2BankParams() const
+{
+    CacheParams p;
+    p.name = "l2bank";
+    p.sizeBytes = l2TotalSizeBytes / totalL2Banks();
+    p.lineBytes = lineBytes;
+    p.assoc = l2Assoc;
+    p.writePolicy = WritePolicy::WriteBack;
+    p.mshrEntries = l2MshrEntries;
+    p.mshrMaxMerge = l2MshrMerge;
+    p.missQueueEntries = l2MissQueue;
+    p.respQueueEntries = l2RespQueue;
+    p.hitLatency = l2HitLatency;
+    p.portBytesPerCycle = l2PortBytes;
+    p.indexDivisor = totalL2Banks();
+    return p;
+}
+
+DramParams
+GpuConfig::dramParams() const
+{
+    DramParams p;
+    p.timing = dramTiming;
+    p.numBanks = dramBanks;
+    p.rowBytes = dramRowBytes;
+    p.busBytesPerCycle = dramBusBytesPerCycle;
+    p.lineBytes = lineBytes;
+    p.schedQueueEntries = dramSchedQueue;
+    p.returnQueueEntries = dramReturnQueue;
+    p.returnPipeLatency = dramReturnPipeLatency;
+    p.numPartitions = numPartitions;
+    return p;
+}
+
+NetworkParams
+GpuConfig::reqNetParams() const
+{
+    NetworkParams p;
+    p.name = "req";
+    p.numSources = static_cast<std::uint32_t>(numCores);
+    p.numDests = totalL2Banks();
+    p.flitBytes = reqFlitBytes;
+    p.injQueuePackets = injQueuePackets;
+    p.ejQueuePackets = reqEjQueuePackets;
+    p.transitLatency = icntTransitLatency;
+    return p;
+}
+
+NetworkParams
+GpuConfig::replyNetParams() const
+{
+    NetworkParams p;
+    p.name = "reply";
+    p.numSources = totalL2Banks();
+    p.numDests = static_cast<std::uint32_t>(numCores);
+    p.flitBytes = replyFlitBytes;
+    p.injQueuePackets = injQueuePackets;
+    p.ejQueuePackets = coreRespFifo;
+    p.transitLatency = icntTransitLatency;
+    return p;
+}
+
+PartitionParams
+GpuConfig::partitionParams(int partition_id) const
+{
+    PartitionParams p;
+    p.partitionId = partition_id;
+    p.banksPerPartition = l2BanksPerPartition;
+    p.numPartitions = numPartitions;
+    p.l2Bank = l2BankParams();
+    p.accessQueueEntries = l2AccessQueue;
+    p.ropLatency = ropLatency;
+    p.dram = dramParams();
+    p.idealDram = (mode == MemoryMode::IdealDram);
+    // idealDramLatency is in core cycles; the partition pipe runs in
+    // L2 cycles.
+    double ratio = icntClockMhz / coreClockMhz;
+    p.idealDramLatency = static_cast<std::uint32_t>(
+        idealDramLatency * ratio + 0.5);
+    return p;
+}
+
+CoreParams
+GpuConfig::coreParams(int core_id) const
+{
+    CoreParams p;
+    p.coreId = core_id;
+    p.maxWarps = maxWarpsPerCore;
+    p.numSchedulers = numSchedulers;
+    p.ibufferEntries = ibufferEntries;
+    p.fetchWidth = fetchWidth;
+    p.memPipelineWidth = memPipelineWidth;
+    p.aluIssuePerCycle = aluIssuePerCycle;
+    p.aluInflightCap = aluInflightCap;
+    p.sfuInflightCap = sfuInflightCap;
+    p.sched = schedPolicy;
+    p.l1d = l1dParams();
+    p.l1i = l1iParams();
+    p.corePeriodPs = 1e6 / coreClockMhz;
+    return p;
+}
+
+AddressMap
+GpuConfig::addressMap() const
+{
+    return AddressMap(numPartitions, l2BanksPerPartition, lineBytes);
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numCores <= 0 || maxWarpsPerCore <= 0)
+        fatal("config '%s': no cores or warps", name.c_str());
+    if (!isPowerOf2(lineBytes))
+        fatal("config '%s': line size %u not a power of two", name.c_str(),
+              lineBytes);
+    if (l2TotalSizeBytes % (std::uint64_t(totalL2Banks()) * lineBytes *
+                            l2Assoc) != 0) {
+        fatal("config '%s': L2 size does not divide across %u banks",
+              name.c_str(), totalL2Banks());
+    }
+    if (mode == MemoryMode::FixedL1Lat && fixedL1MissLatency == 0)
+        warn("config '%s': zero fixed L1 miss latency", name.c_str());
+}
+
+GpuConfig
+GpuConfig::baseline()
+{
+    GpuConfig c;
+    c.name = "baseline";
+    return c;
+}
+
+void
+GpuConfig::applyScaleL1(unsigned f)
+{
+    l1dMissQueue *= f;
+    l1dMshrEntries *= f;
+    memPipelineWidth *= f;
+}
+
+void
+GpuConfig::applyScaleL2(unsigned f)
+{
+    l2MissQueue *= f;
+    l2RespQueue *= f;
+    l2MshrEntries *= f;
+    l2AccessQueue *= f;
+    l2PortBytes *= f;
+    reqFlitBytes *= f;
+    replyFlitBytes *= f;
+    l2BanksPerPartition *= f; // 12 banks -> 48 banks
+}
+
+void
+GpuConfig::applyScaleDram(unsigned f)
+{
+    dramSchedQueue *= f;
+    dramBanks *= f;
+    dramBusBytesPerCycle *= f; // 384-bit -> 1536-bit bus
+}
+
+void
+GpuConfig::applyCostEffectiveBuffers()
+{
+    // Table III "Cost-effective" column: Type '=' buffers to 32,
+    // L1 MSHRs to 48, memory pipeline width to 40; MSHRs at L2, the
+    // L2 data port, bank counts and all DRAM parameters stay baseline.
+    l2MissQueue = 32;
+    l2RespQueue = 32;
+    l2AccessQueue = 32;
+    l1dMissQueue = 32;
+    l1dMshrEntries = 48;
+    memPipelineWidth = 40;
+}
+
+GpuConfig
+GpuConfig::scaledL1()
+{
+    GpuConfig c;
+    c.name = "L1";
+    c.applyScaleL1();
+    return c;
+}
+
+GpuConfig
+GpuConfig::scaledL2()
+{
+    GpuConfig c;
+    c.name = "L2";
+    c.applyScaleL2();
+    return c;
+}
+
+GpuConfig
+GpuConfig::scaledDram()
+{
+    GpuConfig c;
+    c.name = "DRAM";
+    c.applyScaleDram();
+    return c;
+}
+
+GpuConfig
+GpuConfig::scaledL1L2()
+{
+    GpuConfig c;
+    c.name = "L1+L2";
+    c.applyScaleL1();
+    c.applyScaleL2();
+    return c;
+}
+
+GpuConfig
+GpuConfig::scaledL2Dram()
+{
+    GpuConfig c;
+    c.name = "L2+DRAM";
+    c.applyScaleL2();
+    c.applyScaleDram();
+    return c;
+}
+
+GpuConfig
+GpuConfig::scaledAll()
+{
+    GpuConfig c;
+    c.name = "All";
+    c.applyScaleL1();
+    c.applyScaleL2();
+    c.applyScaleDram();
+    return c;
+}
+
+GpuConfig
+GpuConfig::hbm()
+{
+    GpuConfig c = scaledDram();
+    c.name = "HBM";
+    return c;
+}
+
+GpuConfig
+GpuConfig::costEffective16_48()
+{
+    GpuConfig c;
+    c.name = "16+48";
+    c.applyCostEffectiveBuffers();
+    c.reqFlitBytes = 16;
+    c.replyFlitBytes = 48;
+    return c;
+}
+
+GpuConfig
+GpuConfig::costEffective16_68()
+{
+    GpuConfig c;
+    c.name = "16+68";
+    c.applyCostEffectiveBuffers();
+    c.reqFlitBytes = 16;
+    c.replyFlitBytes = 68;
+    return c;
+}
+
+GpuConfig
+GpuConfig::costEffective32_52()
+{
+    GpuConfig c;
+    c.name = "32+52";
+    c.applyCostEffectiveBuffers();
+    c.reqFlitBytes = 32;
+    c.replyFlitBytes = 52;
+    return c;
+}
+
+GpuConfig
+GpuConfig::perfectMem()
+{
+    GpuConfig c;
+    c.name = "P-inf";
+    c.mode = MemoryMode::PerfectMem;
+    return c;
+}
+
+GpuConfig
+GpuConfig::idealDram()
+{
+    GpuConfig c;
+    c.name = "P-DRAM";
+    c.mode = MemoryMode::IdealDram;
+    return c;
+}
+
+GpuConfig
+GpuConfig::fixedL1Lat(std::uint32_t latency_cycles)
+{
+    GpuConfig c;
+    c.name = csprintf("fixed-%u", latency_cycles);
+    c.mode = MemoryMode::FixedL1Lat;
+    c.fixedL1MissLatency = latency_cycles;
+    return c;
+}
+
+} // namespace bwsim

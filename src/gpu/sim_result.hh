@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SimResult: everything one simulation run measures, in the units the
+ * paper reports. Produced by Gpu::run(); consumed by the analysis
+ * framework in src/core and by tests.
+ */
+
+#ifndef BWSIM_GPU_SIM_RESULT_HH
+#define BWSIM_GPU_SIM_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hh"
+#include "smcore/stall.hh"
+#include "stats/occupancy_hist.hh"
+
+namespace bwsim
+{
+
+struct SimResult
+{
+    std::string benchmark;
+    std::string config;
+
+    /** @name Progress and performance */
+    /**@{*/
+    std::uint64_t coreCycles = 0;   ///< core-domain cycles simulated
+    double elapsedPs = 0;           ///< wall simulated time
+    std::uint64_t warpInstsIssued = 0;
+    bool timedOut = false;
+
+    /** Warp instructions per core-domain cycle, summed over cores. */
+    double ipc = 0;
+    /** Warp instructions per second of simulated time; the right
+     *  metric when configs differ in clock frequency (Fig. 11). */
+    double perf = 0;
+    /**@}*/
+
+    /** @name Fig. 1: stalls and latencies */
+    /**@{*/
+    double issueStallFrac = 0; ///< stalled fraction of active cycles
+    double aml = 0;            ///< average memory latency, core cycles
+    double l2Ahl = 0;          ///< average L2 hit latency, core cycles
+    /**@}*/
+
+    /** @name Fig. 7: issue-stall distribution (sums to 1 if stalls) */
+    std::array<double, numIssueStallCauses> issueStallDist{};
+
+    /** @name Figs. 4/5: queue occupancy over usage lifetime */
+    /**@{*/
+    std::array<double, stats::numOccBands> l2AccessQueueOcc{};
+    std::array<double, stats::numOccBands> dramQueueOcc{};
+    /**@}*/
+
+    /** @name Figs. 8/9: cache stall distributions (sum to 1) */
+    /**@{*/
+    std::array<double, numCacheStallCauses> l2StallDist{};
+    std::array<double, numCacheStallCauses> l1StallDist{};
+    /**@}*/
+
+    /** @name Memory-system health */
+    /**@{*/
+    double l1MissRate = 0;
+    double l2MissRate = 0;
+    double dramEfficiency = 0; ///< §IV-B1
+    double dramRowHitRate = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2ReadHits = 0;
+    std::uint64_t l2ReadMisses = 0;
+    std::uint64_t l2Merges = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t l1StallCycles = 0;
+    std::uint64_t l2StallCycles = 0;
+    /**@}*/
+
+    /** Speedup of this run relative to @p base (simulated-time based). */
+    double
+    speedupOver(const SimResult &base) const
+    {
+        if (perf <= 0 || base.perf <= 0)
+            return 0.0;
+        return perf / base.perf;
+    }
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_GPU_SIM_RESULT_HH

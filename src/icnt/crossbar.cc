@@ -1,0 +1,155 @@
+#include "icnt/crossbar.hh"
+
+#include "common/intmath.hh"
+
+namespace bwsim
+{
+
+CrossbarNetwork::CrossbarNetwork(const NetworkParams &params) : cfg(params)
+{
+    bwsim_assert(cfg.numSources > 0 && cfg.numDests > 0,
+                 "network '%s' needs sources and destinations",
+                 cfg.name.c_str());
+    bwsim_assert(cfg.flitBytes > 0, "network '%s' needs a flit size",
+                 cfg.name.c_str());
+    injQ.reserve(cfg.numSources);
+    for (std::uint32_t s = 0; s < cfg.numSources; ++s)
+        injQ.emplace_back(cfg.injQueuePackets);
+    transit.resize(cfg.numDests);
+    ejQ.reserve(cfg.numDests);
+    for (std::uint32_t d = 0; d < cfg.numDests; ++d)
+        ejQ.emplace_back(cfg.ejQueuePackets);
+    reservedEj.assign(cfg.numDests, 0);
+    rrPtr.assign(cfg.numDests, 0);
+    grant.assign(cfg.numDests, -1);
+}
+
+bool
+CrossbarNetwork::canAccept(std::uint32_t src) const
+{
+    return !injQ.at(src).full();
+}
+
+void
+CrossbarNetwork::inject(std::uint32_t src, std::uint32_t dst, MemFetch *mf,
+                        std::uint32_t bytes, double now_ps)
+{
+    bwsim_assert(dst < cfg.numDests, "bad destination %u on '%s'", dst,
+                 cfg.name.c_str());
+    Packet p;
+    p.mf = mf;
+    p.dst = dst;
+    p.flitsLeft =
+        static_cast<std::uint32_t>(divCeil(bytes ? bytes : 1,
+                                           cfg.flitBytes));
+    bool ok = injQ.at(src).push(p);
+    bwsim_assert(ok, "inject into full queue on '%s' (check canAccept)",
+                 cfg.name.c_str());
+    if (mf->tInjected == 0)
+        mf->tInjected = now_ps;
+    ++ctr.packetsInjected;
+    ctr.bytesCarried += bytes;
+}
+
+void
+CrossbarNetwork::tick()
+{
+    ++cycle;
+
+    // Deliver transit arrivals whose ejection slot was pre-reserved.
+    for (std::uint32_t d = 0; d < cfg.numDests; ++d) {
+        auto &pipe = transit[d];
+        while (pipe.ready(cycle)) {
+            Packet p = pipe.pop();
+            bool ok = ejQ[d].push(p);
+            bwsim_assert(ok, "reserved ejection slot missing on '%s'",
+                         cfg.name.c_str());
+            bwsim_assert(reservedEj[d] > 0, "reservation underflow");
+            --reservedEj[d];
+            ++ctr.packetsEjected;
+        }
+    }
+
+    // Each destination output port moves one flit from one source.
+    for (std::uint32_t d = 0; d < cfg.numDests; ++d) {
+        int src = grant[d];
+        if (src < 0) {
+            // Arbitrate: round-robin over sources with a head packet
+            // for this destination and a reservable ejection slot.
+            for (std::uint32_t i = 0; i < cfg.numSources; ++i) {
+                std::uint32_t s = (rrPtr[d] + i) % cfg.numSources;
+                if (injQ[s].empty() || injQ[s].front().dst != d)
+                    continue;
+                if (ejQ[d].size() + reservedEj[d] >= ejQ[d].capacity()) {
+                    ++ctr.ejectBlockedCycles;
+                    break; // ejection full: port idles this cycle
+                }
+                src = static_cast<int>(s);
+                rrPtr[d] = (s + 1) % cfg.numSources;
+                ++reservedEj[d];
+                grant[d] = src;
+                break;
+            }
+            if (src < 0)
+                continue;
+        }
+
+        // Move one flit of the granted packet.
+        Packet &head = injQ[src].front();
+        bwsim_assert(head.dst == d, "grant/packet destination mismatch");
+        bwsim_assert(head.flitsLeft > 0, "granted packet with no flits");
+        --head.flitsLeft;
+        ++ctr.flitsTransferred;
+        if (head.flitsLeft == 0) {
+            Packet done = injQ[src].pop();
+            transit[d].push(done, cycle + cfg.transitLatency);
+            grant[d] = -1;
+        }
+    }
+}
+
+bool
+CrossbarNetwork::ejectReady(std::uint32_t dst) const
+{
+    return !ejQ.at(dst).empty();
+}
+
+MemFetch *
+CrossbarNetwork::ejectPeek(std::uint32_t dst)
+{
+    return ejQ.at(dst).front().mf;
+}
+
+MemFetch *
+CrossbarNetwork::ejectPop(std::uint32_t dst)
+{
+    return ejQ.at(dst).pop().mf;
+}
+
+std::size_t
+CrossbarNetwork::packetsInFlight() const
+{
+    std::size_t n = 0;
+    for (const auto &q : injQ)
+        n += q.size();
+    for (const auto &p : transit)
+        n += p.size();
+    for (const auto &q : ejQ)
+        n += q.size();
+    return n;
+}
+
+std::size_t
+CrossbarNetwork::injQueueSize(std::uint32_t src) const
+{
+    return injQ.at(src).size();
+}
+
+void
+CrossbarNetwork::sampleInjOccupancy(stats::OccupancyHist &hist) const
+{
+    for (const auto &q : injQ)
+        hist.sample(q.size(), q.capacity());
+}
+
+} // namespace bwsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Address-to-partition/bank interleaving.
+ *
+ * Cache lines are interleaved across memory partitions (and across the
+ * L2 banks within each partition) at line granularity, spreading any
+ * dense address stream over all six baseline partitions like the
+ * GPGPU-Sim default mapping does.
+ */
+
+#ifndef BWSIM_MEM_ADDR_MAP_HH
+#define BWSIM_MEM_ADDR_MAP_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace bwsim
+{
+
+class AddressMap
+{
+  public:
+    AddressMap() = default;
+
+    AddressMap(std::uint32_t num_partitions, std::uint32_t banks_per_part,
+               std::uint32_t line_bytes)
+        : parts(num_partitions), banksPerPart(banks_per_part),
+          line(line_bytes)
+    {
+        bwsim_assert(parts > 0 && banksPerPart > 0 && line > 0,
+                     "bad address map geometry");
+    }
+
+    std::uint32_t numPartitions() const { return parts; }
+    std::uint32_t banksPerPartition() const { return banksPerPart; }
+    std::uint32_t totalBanks() const { return parts * banksPerPart; }
+
+    std::uint32_t
+    partitionOf(Addr line_addr) const
+    {
+        return static_cast<std::uint32_t>((line_addr / line) % parts);
+    }
+
+    /** Global L2 bank id in [0, totalBanks). */
+    std::uint32_t
+    bankOf(Addr line_addr) const
+    {
+        std::uint64_t idx = line_addr / line;
+        std::uint32_t part = static_cast<std::uint32_t>(idx % parts);
+        std::uint32_t local =
+            static_cast<std::uint32_t>((idx / parts) % banksPerPart);
+        return part * banksPerPart + local;
+    }
+
+  private:
+    std::uint32_t parts = 6;
+    std::uint32_t banksPerPart = 2;
+    std::uint32_t line = 128;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_MEM_ADDR_MAP_HH

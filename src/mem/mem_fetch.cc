@@ -1,0 +1,64 @@
+#include "mem/mem_fetch.hh"
+
+namespace bwsim
+{
+
+const char *
+accessTypeName(AccessType t)
+{
+    switch (t) {
+      case AccessType::GlobalRead:
+        return "GlobalRead";
+      case AccessType::GlobalWrite:
+        return "GlobalWrite";
+      case AccessType::InstFetch:
+        return "InstFetch";
+      case AccessType::L2Writeback:
+        return "L2Writeback";
+      default:
+        panic("invalid access type %u", static_cast<unsigned>(t));
+    }
+}
+
+std::string
+MemFetch::toString() const
+{
+    return csprintf("mf#%llu %s line=0x%llx core=%d warp=%d part=%d",
+                    static_cast<unsigned long long>(id),
+                    accessTypeName(type),
+                    static_cast<unsigned long long>(lineAddr),
+                    coreId, warpId, partitionId);
+}
+
+MemFetchAllocator::~MemFetchAllocator() = default;
+
+MemFetch *
+MemFetchAllocator::alloc()
+{
+    MemFetch *mf;
+    if (!freeList.empty()) {
+        mf = freeList.front();
+        freeList.pop_front();
+        *mf = MemFetch{};
+    } else {
+        pool.push_back(std::make_unique<MemFetch>());
+        mf = pool.back().get();
+    }
+    mf->id = nextId++;
+    ++numAlloc;
+    return mf;
+}
+
+void
+MemFetchAllocator::free(MemFetch *mf)
+{
+    bwsim_assert(mf != nullptr, "freeing null MemFetch");
+    ++numFree;
+    bwsim_assert(numFree <= numAlloc,
+                 "double free detected (freed %llu > allocated %llu)",
+                 static_cast<unsigned long long>(numFree),
+                 static_cast<unsigned long long>(numAlloc));
+    freeList.push_back(mf);
+}
+
+} // namespace bwsim

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Bounded queues and delay pipes: the building blocks of every buffer
+ * in the modelled memory system (Fig. 2 of the paper).
+ *
+ * BoundedQueue models a finite FIFO whose fullness is what creates
+ * back-pressure. TimedQueue additionally enforces a minimum residency
+ * (pipeline latency) before an entry may be popped. Both expose their
+ * occupancy so congestion monitors can build usage-lifetime histograms.
+ */
+
+#ifndef BWSIM_SIM_QUEUE_HH
+#define BWSIM_SIM_QUEUE_HH
+
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace bwsim
+{
+
+/** A finite FIFO; push fails (returns false) when full. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : cap(capacity)
+    {
+        bwsim_assert(capacity > 0, "queue capacity must be positive");
+    }
+
+    bool full() const { return q.size() >= cap; }
+    bool empty() const { return q.empty(); }
+    std::size_t size() const { return q.size(); }
+    std::size_t capacity() const { return cap; }
+
+    /** Space left before the queue back-pressures. */
+    std::size_t free() const { return cap - q.size(); }
+
+    bool
+    push(T v)
+    {
+        if (full())
+            return false;
+        q.push_back(std::move(v));
+        return true;
+    }
+
+    T &front() { return q.front(); }
+    const T &front() const { return q.front(); }
+
+    T
+    pop()
+    {
+        bwsim_assert(!q.empty(), "pop from empty queue");
+        T v = std::move(q.front());
+        q.pop_front();
+        return v;
+    }
+
+    auto begin() { return q.begin(); }
+    auto end() { return q.end(); }
+    auto begin() const { return q.begin(); }
+    auto end() const { return q.end(); }
+
+  private:
+    std::size_t cap;
+    std::deque<T> q;
+};
+
+/**
+ * A finite FIFO whose entries become poppable only once the owning
+ * domain's cycle reaches their ready time. Models a fixed-latency
+ * pipeline stage feeding a bounded buffer.
+ */
+template <typename T>
+class TimedQueue
+{
+  public:
+    explicit TimedQueue(std::size_t capacity) : cap(capacity)
+    {
+        bwsim_assert(capacity > 0, "queue capacity must be positive");
+    }
+
+    bool full() const { return q.size() >= cap; }
+    bool empty() const { return q.empty(); }
+    std::size_t size() const { return q.size(); }
+    std::size_t capacity() const { return cap; }
+
+    bool
+    push(T v, Cycle ready)
+    {
+        if (full())
+            return false;
+        // FIFO order dominates: an entry can never be popped before its
+        // predecessor, so clamping ready times to be monotone preserves
+        // semantics while allowing out-of-order push deadlines.
+        if (!q.empty() && q.back().second > ready)
+            ready = q.back().second;
+        q.emplace_back(std::move(v), ready);
+        return true;
+    }
+
+    /** True if the head entry exists and is ready at @p now. */
+    bool
+    ready(Cycle now) const
+    {
+        return !q.empty() && q.front().second <= now;
+    }
+
+    T &front() { return q.front().first; }
+    const T &front() const { return q.front().first; }
+    Cycle frontReady() const { return q.front().second; }
+
+    T
+    pop()
+    {
+        bwsim_assert(!q.empty(), "pop from empty queue");
+        T v = std::move(q.front().first);
+        q.pop_front();
+        return v;
+    }
+
+    auto begin() { return q.begin(); }
+    auto end() { return q.end(); }
+    auto begin() const { return q.begin(); }
+    auto end() const { return q.end(); }
+
+  private:
+    std::size_t cap;
+    std::deque<std::pair<T, Cycle>> q;
+};
+
+/** An unbounded delay pipe: entries emerge after a per-entry latency. */
+template <typename T>
+class DelayPipe
+{
+  public:
+    bool empty() const { return q.empty(); }
+    std::size_t size() const { return q.size(); }
+
+    void
+    push(T v, Cycle ready)
+    {
+        // See TimedQueue::push: clamp to preserve FIFO pop order.
+        if (!q.empty() && q.back().second > ready)
+            ready = q.back().second;
+        q.emplace_back(std::move(v), ready);
+    }
+
+    bool
+    ready(Cycle now) const
+    {
+        return !q.empty() && q.front().second <= now;
+    }
+
+    T &front() { return q.front().first; }
+
+    T
+    pop()
+    {
+        bwsim_assert(!q.empty(), "pop from empty pipe");
+        T v = std::move(q.front().first);
+        q.pop_front();
+        return v;
+    }
+
+  private:
+    std::deque<std::pair<T, Cycle>> q;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_SIM_QUEUE_HH

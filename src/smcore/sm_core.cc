@@ -1,0 +1,639 @@
+#include "smcore/sm_core.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+
+namespace bwsim
+{
+
+SmCore::SmCore(const CoreParams &params, MemFetchAllocator *allocator)
+    : cfg(params), alloc(allocator),
+      warps(params.maxWarps),
+      wflags(params.maxWarps, 0),
+      ibufCnt(params.maxWarps, 0),
+      headOp(params.maxWarps, 0),
+      headDest(params.maxWarps, -1),
+      headSrc(params.maxWarps, -1),
+      schedList(params.numSchedulers),
+      ctas(params.maxCtasResident),
+      scoreboard(params.maxWarps),
+      lsu(params.memPipelineWidth),
+      greedyWarp(params.numSchedulers, -1),
+      lrrPtr(params.numSchedulers, 0)
+{
+    bwsim_assert(alloc, "core %d needs a packet allocator", cfg.coreId);
+    bwsim_assert(cfg.maxWarps > 0 && cfg.numSchedulers > 0,
+                 "core %d: bad warp/scheduler counts", cfg.coreId);
+    bwsim_assert(cfg.maxWarps <= 64,
+                 "core %d: fetch bitmask supports at most 64 warps",
+                 cfg.coreId);
+    bwsim_assert(cfg.memPipelineWidth > 0,
+                 "core %d: memory pipeline needs width", cfg.coreId);
+
+    CacheParams l1dp = cfg.l1d;
+    l1dp.name = csprintf("l1d_c%d", cfg.coreId);
+    l1dCache = std::make_unique<CacheModel>(l1dp, alloc, cfg.coreId);
+
+    CacheParams l1ip = cfg.l1i;
+    l1ip.name = csprintf("l1i_c%d", cfg.coreId);
+    l1ip.writePolicy = WritePolicy::ReadOnly;
+    l1iCache = std::make_unique<CacheModel>(l1ip, alloc, cfg.coreId);
+}
+
+void
+SmCore::syncHead(int warp)
+{
+    if (ibufCnt[warp] == 0)
+        return;
+    const WarpInstData &inst = warps[warp].ibuf.front();
+    headOp[warp] = static_cast<std::uint8_t>(inst.op);
+    headDest[warp] = static_cast<std::int16_t>(inst.dest);
+    headSrc[warp] = static_cast<std::int16_t>(inst.src);
+}
+
+void
+SmCore::updateFetchBit(int warp)
+{
+    bool eligible = wflags[warp] == WfInUse &&
+                    int(ibufCnt[warp]) < cfg.ibufferEntries;
+    std::uint64_t bit = std::uint64_t(1) << warp;
+    if (eligible)
+        fetchEligible |= bit;
+    else
+        fetchEligible &= ~bit;
+}
+
+void
+SmCore::maybeDispatchCtas()
+{
+    if (!source)
+        return;
+    while (activeCtas < cfg.maxCtasResident && source->hasWork()) {
+        int free_warps = cfg.maxWarps - liveWarps;
+        int cta_slot = -1;
+        for (int c = 0; c < int(ctas.size()); ++c) {
+            if (!ctas[c].active) {
+                cta_slot = c;
+                break;
+            }
+        }
+        if (cta_slot < 0)
+            return;
+
+        CtaWork work = source->takeCta(cfg.coreId);
+        bwsim_assert(work.numWarps > 0 && work.makeCursor,
+                     "core %d received an empty CTA", cfg.coreId);
+        bwsim_assert(work.numWarps <= free_warps,
+                     "core %d: CTA of %d warps exceeds %d free contexts "
+                     "(lower maxCtasResident or warps per CTA)",
+                     cfg.coreId, work.numWarps, free_warps);
+
+        ctas[cta_slot].active = true;
+        ctas[cta_slot].warpsLeft = work.numWarps;
+        ++activeCtas;
+
+        int launched = 0;
+        for (int w = 0; w < int(warps.size()) && launched < work.numWarps;
+             ++w) {
+            if (wflags[w] & WfInUse)
+                continue;
+            Warp &warp = warps[w];
+            warp.cursor = work.makeCursor(launched);
+            warp.ibuf.clear();
+            warp.ctaSlot = cta_slot;
+            warp.age = ageCounter++;
+            warp.pendingLsuSlots = 0;
+            wflags[w] = WfInUse |
+                        (warp.cursor->done() ? WfCursorDone : 0);
+            ibufCnt[w] = 0;
+            updateFetchBit(w);
+            ++liveWarps;
+            ++launched;
+        }
+        schedListDirty = true;
+        retireDirty = true; // empty-program warps retire immediately
+    }
+}
+
+void
+SmCore::fetchStage(double now_ps)
+{
+    // One I-cache access per cycle for the round-robin-next warp that
+    // wants instructions, found via the eligibility bitmask.
+    if (fetchEligible == 0)
+        return;
+    std::uint64_t rotated = fetchPtr < 64
+                                ? (fetchEligible &
+                                   (~std::uint64_t(0) << fetchPtr))
+                                : 0;
+    int w = rotated ? __builtin_ctzll(rotated)
+                    : __builtin_ctzll(fetchEligible);
+
+    Warp &warp = warps[w];
+    Addr pc = warp.cursor->nextPc();
+    Addr line = roundDown(pc, cfg.l1i.lineBytes);
+    CacheAccess acc;
+    acc.lineAddr = line;
+    acc.warpId = w;
+    acc.slotId = -1;
+    acc.isInstFetch = true;
+    CacheOutcome out = l1iCache->access(acc, cycle, now_ps);
+    if (out == CacheOutcome::HitServiced) {
+        bool was_empty = (ibufCnt[w] == 0);
+        for (int k = 0; k < cfg.fetchWidth &&
+                        int(ibufCnt[w]) < cfg.ibufferEntries;
+             ++k) {
+            if (warp.cursor->done())
+                break;
+            if (roundDown(warp.cursor->nextPc(), cfg.l1i.lineBytes) !=
+                line) {
+                break; // next instruction is on another line
+            }
+            WarpInstData inst;
+            bool ok = warp.cursor->next(inst);
+            bwsim_assert(ok, "cursor lied about done()");
+            warp.ibuf.push_back(std::move(inst));
+            if (ibufCnt[w]++ == 0)
+                ++decodedWarps;
+        }
+        if (was_empty)
+            syncHead(w);
+        if (warp.cursor->done()) {
+            wflags[w] |= WfCursorDone;
+            retireDirty = true;
+        }
+    } else if (out == CacheOutcome::MissIssued ||
+               out == CacheOutcome::MissMerged) {
+        wflags[w] |= WfWaitingIFetch;
+    }
+    // On a stall outcome the I-cache counted the cause; retry later.
+    updateFetchBit(w);
+    fetchPtr = (w + 1) % int(warps.size());
+}
+
+int
+SmCore::allocPendingOp(int warp, bool write, int dest_reg,
+                       std::uint32_t n_accesses)
+{
+    int idx;
+    if (!pendingFree.empty()) {
+        idx = pendingFree.back();
+        pendingFree.pop_back();
+    } else {
+        idx = int(pendingOps.size());
+        pendingOps.emplace_back();
+    }
+    PendingMemOp &p = pendingOps[idx];
+    p.valid = true;
+    p.warpId = warp;
+    p.write = write;
+    p.destReg = dest_reg;
+    p.remaining = n_accesses;
+    ++warps[warp].pendingLsuSlots;
+    return idx;
+}
+
+int
+SmCore::lsuAllocSlot(int warp, const WarpInstData &inst)
+{
+    for (int i = 0; i < int(lsu.size()); ++i) {
+        if (lsu[i].valid)
+            continue;
+        LsuSlot &s = lsu[i];
+        s.valid = true;
+        s.warpId = warp;
+        s.write = (inst.op == Op::Store);
+        s.addrs = inst.lineAddrs;
+        s.nextIdx = 0;
+        s.storeBytes = inst.storeBytes;
+        s.seq = lsuSeq++;
+        bwsim_assert(!s.addrs.empty(),
+                     "memory instruction with no accesses");
+        s.pendingIdx = allocPendingOp(
+            warp, s.write, s.write ? -1 : inst.dest,
+            static_cast<std::uint32_t>(s.addrs.size()));
+        ++lsuOccupied;
+        return i;
+    }
+    panic("lsuAllocSlot with no free slot");
+}
+
+void
+SmCore::rebuildSchedLists()
+{
+    static thread_local std::vector<std::pair<std::uint64_t, int>> aged;
+    for (int s = 0; s < cfg.numSchedulers; ++s) {
+        aged.clear();
+        for (int w = s; w < int(warps.size()); w += cfg.numSchedulers)
+            if (wflags[w] & WfInUse)
+                aged.emplace_back(warps[w].age, w);
+        std::sort(aged.begin(), aged.end());
+        schedList[s].clear();
+        for (auto &[age, w] : aged)
+            schedList[s].push_back(w);
+    }
+    schedListDirty = false;
+}
+
+void
+SmCore::popIbufHead(int warp)
+{
+    warps[warp].ibuf.pop_front();
+    if (--ibufCnt[warp] == 0) {
+        --decodedWarps;
+        if (wflags[warp] & WfCursorDone)
+            retireDirty = true;
+    } else {
+        syncHead(warp);
+    }
+    updateFetchBit(warp);
+}
+
+void
+SmCore::issueStage()
+{
+    issuedThisCycle = 0;
+    aluIssuedThisCycle = 0;
+    sawStructMem = sawStructAlu = sawDataMem = sawDataAlu = false;
+
+    if (schedListDirty)
+        rebuildSchedLists();
+
+    for (int s = 0; s < cfg.numSchedulers; ++s) {
+        int greedy = (cfg.sched == SchedPolicy::Gto) ? greedyWarp[s] : -1;
+        const auto &list = schedList[s];
+
+        // Candidate order: greedy warp first, then oldest-first. The
+        // schedList is age-sorted and only rebuilt on dispatch/retire.
+        int issued_warp = -1;
+        std::size_t start = (cfg.sched == SchedPolicy::Lrr)
+                                ? std::size_t(lrrPtr[s]) % std::max<
+                                      std::size_t>(1, list.size())
+                                : 0;
+        std::size_t count = list.size() + (greedy >= 0 ? 1 : 0);
+        for (std::size_t k = 0; k < count; ++k) {
+            int w;
+            if (greedy >= 0 && k == 0) {
+                w = greedy;
+                if (!(wflags[w] & WfInUse))
+                    continue;
+            } else {
+                std::size_t li = k - (greedy >= 0 ? 1 : 0);
+                if (li >= list.size())
+                    break;
+                w = list[(start + li) % list.size()];
+                if (w == greedy)
+                    continue;
+            }
+            if (ibufCnt[w] == 0)
+                continue;
+
+            // Hazard checks run on the compact head mirror; the deque
+            // is only touched when the instruction actually issues.
+            Op op = static_cast<Op>(headOp[w]);
+            PendingKind blocked;
+            if (!scoreboard.canIssueRegs(w, headSrc[w], headDest[w],
+                                         blocked)) {
+                if (blocked == PendingKind::Mem)
+                    sawDataMem = true;
+                else
+                    sawDataAlu = true;
+                continue;
+            }
+
+            bool is_mem = (op == Op::Load || op == Op::Store);
+            bool unit_free;
+            if (is_mem) {
+                unit_free = lsuHasFreeSlot();
+                if (!unit_free)
+                    sawStructMem = true;
+            } else if (op == Op::Sfu) {
+                unit_free = sfuInflight < cfg.sfuInflightCap &&
+                            aluIssuedThisCycle < cfg.aluIssuePerCycle;
+                if (!unit_free)
+                    sawStructAlu = true;
+            } else {
+                unit_free = aluInflight < cfg.aluInflightCap &&
+                            aluIssuedThisCycle < cfg.aluIssuePerCycle;
+                if (!unit_free)
+                    sawStructAlu = true;
+            }
+            if (!unit_free)
+                continue;
+
+            // Issue.
+            Warp &warp = warps[w];
+            const WarpInstData &inst = warp.ibuf.front();
+            if (inst.isMem()) {
+                lsuAllocSlot(w, inst);
+                if (inst.op == Op::Load) {
+                    scoreboard.setPending(w, inst.dest, PendingKind::Mem);
+                    ++ctr.loadsIssued;
+                } else {
+                    ++ctr.storesIssued;
+                }
+            } else {
+                if (inst.dest >= 0)
+                    scoreboard.setPending(w, inst.dest, PendingKind::Alu);
+                auto &pipe = (inst.op == Op::Sfu) ? sfuPipe : aluPipe;
+                pipe.push({w, inst.dest}, cycle + inst.latency);
+                if (inst.op == Op::Sfu)
+                    ++sfuInflight;
+                else
+                    ++aluInflight;
+                ++aluIssuedThisCycle;
+            }
+            popIbufHead(w);
+            issued_warp = w;
+            ++issuedThisCycle;
+            ++ctr.issuedInsts;
+            break; // one instruction per scheduler per cycle
+        }
+
+        if (issued_warp >= 0) {
+            if (cfg.sched == SchedPolicy::Gto)
+                greedyWarp[s] = issued_warp;
+            else
+                lrrPtr[s] = lrrPtr[s] + 1;
+        }
+    }
+}
+
+void
+SmCore::execStage()
+{
+    while (aluPipe.ready(cycle)) {
+        auto [w, reg] = aluPipe.pop();
+        if (reg >= 0)
+            scoreboard.clear(w, reg);
+        --aluInflight;
+        retireDirty = true;
+    }
+    while (sfuPipe.ready(cycle)) {
+        auto [w, reg] = sfuPipe.pop();
+        if (reg >= 0)
+            scoreboard.clear(w, reg);
+        --sfuInflight;
+        retireDirty = true;
+    }
+}
+
+void
+SmCore::pendingAccessDone(int pending_idx)
+{
+    PendingMemOp &p = pendingOps[pending_idx];
+    bwsim_assert(p.valid, "completion for an empty pending op");
+    bwsim_assert(p.remaining > 0, "pending op completion underflow");
+    --p.remaining;
+    if (p.remaining > 0)
+        return;
+    // Whole warp memory instruction complete (the paper's "tail
+    // request" semantics: the warp resumes only when its last access
+    // returns).
+    if (!p.write && p.destReg >= 0)
+        scoreboard.clear(p.warpId, p.destReg);
+    bwsim_assert(warps[p.warpId].pendingLsuSlots > 0,
+                 "warp LSU accounting underflow");
+    --warps[p.warpId].pendingLsuSlots;
+    p.valid = false;
+    pendingFree.push_back(pending_idx);
+    retireDirty = true;
+}
+
+void
+SmCore::memStage(double now_ps)
+{
+    // Retire L1 hit completions that reached data-ready this cycle.
+    while (hitPipe.ready(cycle)) {
+        int idx = hitPipe.pop();
+        pendingAccessDone(idx);
+    }
+
+    if (lsuOccupied == 0)
+        return;
+
+    // Present the oldest buffered access to the L1D (one per cycle).
+    int oldest = -1;
+    std::uint64_t best_seq = ~std::uint64_t(0);
+    for (int i = 0; i < int(lsu.size()); ++i) {
+        const LsuSlot &s = lsu[i];
+        if (!s.valid)
+            continue;
+        if (s.seq < best_seq) {
+            best_seq = s.seq;
+            oldest = i;
+        }
+    }
+    if (oldest < 0)
+        return;
+
+    LsuSlot &s = lsu[oldest];
+    CacheAccess acc;
+    acc.lineAddr = s.addrs[s.nextIdx];
+    acc.write = s.write;
+    acc.storeBytes = s.storeBytes;
+    acc.warpId = s.warpId;
+    acc.slotId = s.pendingIdx;
+    CacheOutcome out = l1dCache->access(acc, cycle, now_ps);
+    if (isStallOutcome(out))
+        return; // L1 counted the cause; retry next cycle
+    ++ctr.l1Accesses;
+    int pending_idx = s.pendingIdx;
+    ++s.nextIdx;
+    if (s.nextIdx >= s.addrs.size()) {
+        // All accesses accepted: free the buffer slot; the PendingMemOp
+        // lives on until the tail access completes.
+        s.valid = false;
+        s.addrs.clear();
+        --lsuOccupied;
+    }
+    switch (out) {
+      case CacheOutcome::HitServiced:
+        hitPipe.push(pending_idx, cycle + cfg.l1d.hitLatency);
+        break;
+      case CacheOutcome::WriteForwarded:
+        pendingAccessDone(pending_idx);
+        break;
+      case CacheOutcome::MissIssued:
+      case CacheOutcome::MissMerged:
+        break; // completion arrives with the fill
+      default:
+        panic("unexpected L1D outcome %s", cacheOutcomeName(out));
+    }
+}
+
+void
+SmCore::retireFinishedWarps()
+{
+    if (!retireDirty)
+        return;
+    retireDirty = false;
+    for (int w = 0; w < int(warps.size()); ++w) {
+        if (wflags[w] != (WfInUse | WfCursorDone) || ibufCnt[w] != 0)
+            continue;
+        Warp &warp = warps[w];
+        if (warp.pendingLsuSlots > 0 || scoreboard.anyPending(w))
+            continue;
+        wflags[w] = 0;
+        updateFetchBit(w);
+        warp.cursor.reset();
+        --liveWarps;
+        ++ctr.warpsCompleted;
+        CtaSlot &cta = ctas[warp.ctaSlot];
+        bwsim_assert(cta.active && cta.warpsLeft > 0,
+                     "warp retired into an inactive CTA");
+        if (--cta.warpsLeft == 0) {
+            cta.active = false;
+            --activeCtas;
+            ++ctr.ctasCompleted;
+        }
+        schedListDirty = true;
+    }
+}
+
+void
+SmCore::classifyStallCycle()
+{
+    if (issuedThisCycle > 0) {
+        ++ctr.issuedCycles;
+        return;
+    }
+    if (liveWarps == 0)
+        return; // idle core: no work resident, not a stall
+
+    IssueStall cause;
+    if (decodedWarps > 0) {
+        if (sawStructMem)
+            cause = IssueStall::StrMem;
+        else if (sawStructAlu)
+            cause = IssueStall::StrAlu;
+        else if (sawDataMem)
+            cause = IssueStall::DataMem;
+        else if (sawDataAlu)
+            cause = IssueStall::DataAlu;
+        else
+            cause = IssueStall::Fetch; // decoded only on an idle sched
+    } else {
+        // Nothing decoded anywhere: fetch-starved, unless every live
+        // warp is merely draining its last memory/ALU operations.
+        bool any_unfetched = false;
+        bool any_mem_pending = false;
+        for (int w = 0; w < int(warps.size()); ++w) {
+            std::uint8_t f = wflags[w];
+            if (!(f & WfInUse))
+                continue;
+            if (!(f & WfCursorDone) || (f & WfWaitingIFetch))
+                any_unfetched = true;
+            if (warps[w].pendingLsuSlots > 0)
+                any_mem_pending = true;
+        }
+        if (any_unfetched)
+            cause = IssueStall::Fetch;
+        else if (any_mem_pending)
+            cause = IssueStall::DataMem; // draining the memory tail
+        else
+            cause = IssueStall::DataAlu; // draining the exec pipes
+    }
+    ++ctr.issueStalls[static_cast<unsigned>(cause)];
+}
+
+void
+SmCore::tick(double now_ps)
+{
+    ++cycle;
+    ++ctr.cycles;
+    if (!finishedLatched)
+        ++ctr.activeCycles;
+
+    maybeDispatchCtas();
+    execStage();
+    memStage(now_ps);
+    issueStage();
+    classifyStallCycle();
+    fetchStage(now_ps);
+    retireFinishedWarps();
+    if (activeCtas < cfg.maxCtasResident)
+        maybeDispatchCtas();
+
+    if (!finishedLatched && done())
+        finishedLatched = true;
+}
+
+bool
+SmCore::done() const
+{
+    if (liveWarps > 0 || activeCtas > 0)
+        return false;
+    if (source && source->hasWork())
+        return false;
+    return aluInflight == 0 && sfuInflight == 0;
+}
+
+bool
+SmCore::hasOutgoing() const
+{
+    return !l1dCache->missQueueEmpty() || !l1iCache->missQueueEmpty();
+}
+
+MemFetch *
+SmCore::peekOutgoing()
+{
+    bwsim_assert(hasOutgoing(), "peekOutgoing with nothing pending");
+    bool d_first = outgoingToggle || l1iCache->missQueueEmpty();
+    if (!l1dCache->missQueueEmpty() && d_first)
+        return l1dCache->missQueueFront();
+    if (!l1iCache->missQueueEmpty())
+        return l1iCache->missQueueFront();
+    return l1dCache->missQueueFront();
+}
+
+void
+SmCore::popOutgoing()
+{
+    bwsim_assert(hasOutgoing(), "popOutgoing with nothing pending");
+    bool d_first = outgoingToggle || l1iCache->missQueueEmpty();
+    outgoingToggle = !outgoingToggle;
+    if (!l1dCache->missQueueEmpty() && d_first) {
+        l1dCache->missQueuePop();
+        return;
+    }
+    if (!l1iCache->missQueueEmpty()) {
+        l1iCache->missQueuePop();
+        return;
+    }
+    l1dCache->missQueuePop();
+}
+
+void
+SmCore::deliverResponse(MemFetch *mf, double now_ps)
+{
+    mf->tReplyBack = now_ps;
+    if (mf->type == AccessType::GlobalRead) {
+        double lat_cycles = (now_ps - mf->tLeftL1) / cfg.corePeriodPs;
+        ctr.memLatSum += lat_cycles;
+        ++ctr.memLatCount;
+        if (mf->servicedBy == ServicedBy::L2) {
+            ctr.l2HitLatSum += lat_cycles;
+            ++ctr.l2HitLatCount;
+        }
+    }
+
+    std::vector<MshrWaiter> woken;
+    CacheModel &target = mf->isInstFetch() ? *l1iCache : *l1dCache;
+    bool ok = target.fill(mf, cycle, now_ps, woken);
+    bwsim_assert(ok, "L1 fill refused (L1s have no response queue)");
+    for (const auto &w : woken) {
+        if (w.isInstFetch) {
+            bwsim_assert(wflags[w.warpId] & WfWaitingIFetch,
+                         "I-fetch wake for a warp that is not waiting");
+            wflags[w.warpId] &= ~WfWaitingIFetch;
+            updateFetchBit(w.warpId);
+        } else {
+            pendingAccessDone(w.slotId);
+        }
+    }
+    alloc->free(mf);
+}
+
+} // namespace bwsim

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * SmCore: one highly multithreaded SIMT core (SM) following the
+ * baseline of the paper's Fig. 2.
+ *
+ * Pipeline per core cycle:
+ *   - fetch: one I-cache access for the round-robin-next warp with
+ *     I-buffer space; a miss parks the warp (fetch hazard);
+ *   - issue: two greedy-then-oldest schedulers, one instruction each,
+ *     gated by the scoreboard (data hazards) and by functional-unit
+ *     capacity (structural hazards);
+ *   - execute: ALU/SFU delay pipes clear the scoreboard on completion;
+ *   - memory: the LSU buffers up to memPipelineWidth warp memory
+ *     instructions awaiting L1 acceptance and presents one coalesced
+ *     line access per cycle to the write-evict L1D; completion of an
+ *     instruction (its "tail request") is tracked separately so the
+ *     LSU slot frees as soon as the L1 has accepted every access;
+ *   - a per-cycle issue-stall classification implements Fig. 7.
+ *
+ * The core also owns the L1I, drains both miss queues toward the
+ * interconnect injection port (via the GPU) and consumes reply-network
+ * responses (fills).
+ *
+ * Implementation note: per-warp hot state is mirrored in compact
+ * parallel arrays (flags, I-buffer depth) so the per-cycle scheduler
+ * and fetch scans stay cache-friendly at 48 warps x 15 cores.
+ */
+
+#ifndef BWSIM_SMCORE_SM_CORE_HH
+#define BWSIM_SMCORE_SM_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+#include "mem/mem_fetch.hh"
+#include "sim/queue.hh"
+#include "smcore/isa.hh"
+#include "smcore/scoreboard.hh"
+#include "smcore/stall.hh"
+
+namespace bwsim
+{
+
+/** Warp scheduling policy. */
+enum class SchedPolicy : std::uint8_t
+{
+    Gto, ///< greedy-then-oldest (baseline, Table I)
+    Lrr, ///< loose round-robin (for scheduler studies)
+};
+
+/** One thread block's worth of work handed to a core. */
+struct CtaWork
+{
+    int numWarps = 0;
+    /** Builds the cursor for warp @p warp_in_cta of this CTA. */
+    std::function<std::unique_ptr<TraceCursor>(int warp_in_cta)> makeCursor;
+};
+
+/** Where cores pull thread blocks from (implemented by the GPU). */
+class WorkSource
+{
+  public:
+    virtual ~WorkSource() = default;
+    virtual bool hasWork() const = 0;
+    virtual CtaWork takeCta(int core_id) = 0;
+};
+
+struct CoreParams
+{
+    int coreId = 0;
+    int maxWarps = 48;
+    int numSchedulers = 2;
+    int ibufferEntries = 2;
+    int fetchWidth = 2;
+    /** LSU buffer for pending warp memory instructions (Table III). */
+    int memPipelineWidth = 10;
+    int aluIssuePerCycle = 2;
+    int aluInflightCap = 96;
+    int sfuInflightCap = 16;
+    int maxCtasResident = 6;
+    SchedPolicy sched = SchedPolicy::Gto;
+    CacheParams l1d;
+    CacheParams l1i;
+    /** Core clock period, for converting latency samples to cycles. */
+    double corePeriodPs = 1e6 / 1400.0;
+};
+
+/** Aggregate per-core counters. */
+struct CoreCounters
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t activeCycles = 0; ///< cycles before this core finished
+    std::uint64_t issuedInsts = 0;
+    std::uint64_t issuedCycles = 0;
+    std::array<std::uint64_t, numIssueStallCauses> issueStalls{};
+    std::uint64_t loadsIssued = 0;
+    std::uint64_t storesIssued = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t ctasCompleted = 0;
+    std::uint64_t warpsCompleted = 0;
+
+    /** Memory latency samples (in core cycles, per L1 miss response). */
+    double memLatSum = 0;
+    std::uint64_t memLatCount = 0;
+    double l2HitLatSum = 0;
+    std::uint64_t l2HitLatCount = 0;
+
+    std::uint64_t
+    totalIssueStalls() const
+    {
+        std::uint64_t n = 0;
+        for (auto s : issueStalls)
+            n += s;
+        return n;
+    }
+};
+
+class SmCore
+{
+  public:
+    SmCore(const CoreParams &params, MemFetchAllocator *allocator);
+
+    const CoreParams &params() const { return cfg; }
+    const CoreCounters &counters() const { return ctr; }
+    CacheModel &l1d() { return *l1dCache; }
+    CacheModel &l1i() { return *l1iCache; }
+    const CacheModel &l1d() const { return *l1dCache; }
+    const CacheModel &l1i() const { return *l1iCache; }
+
+    /** Attach the CTA source before the first tick. */
+    void setWorkSource(WorkSource *src) { source = src; }
+
+    /** One core clock cycle. */
+    void tick(double now_ps);
+
+    /** All CTAs issued to this core have retired and pipes are empty. */
+    bool done() const;
+
+    /** @name Miss traffic toward the interconnect (GPU drains this) */
+    /**@{*/
+    bool hasOutgoing() const;
+    MemFetch *peekOutgoing();
+    void popOutgoing();
+    /**@}*/
+
+    /** Deliver a reply (L1D or L1I fill); frees the packet. */
+    void deliverResponse(MemFetch *mf, double now_ps);
+
+    /** Live warps right now (tests / occupancy stats). */
+    int activeWarps() const { return liveWarps; }
+
+  private:
+    struct Warp
+    {
+        std::unique_ptr<TraceCursor> cursor;
+        std::deque<WarpInstData> ibuf;
+        int ctaSlot = -1;
+        std::uint64_t age = 0;
+        std::uint32_t pendingLsuSlots = 0;
+    };
+
+    /** Compact per-warp flags mirrored from Warp (hot-path scans). */
+    enum WarpFlag : std::uint8_t
+    {
+        WfInUse = 1,
+        WfCursorDone = 2,
+        WfWaitingIFetch = 4,
+    };
+
+    struct CtaSlot
+    {
+        bool active = false;
+        int warpsLeft = 0;
+    };
+
+    /**
+     * One warp memory instruction buffered in the LSU. The slot is
+     * held only until every coalesced access has been accepted by the
+     * L1; completion is then tracked by a PendingMemOp.
+     */
+    struct LsuSlot
+    {
+        bool valid = false;
+        int warpId = -1;
+        bool write = false;
+        std::vector<Addr> addrs;
+        std::uint32_t nextIdx = 0;
+        std::uint32_t storeBytes = 32;
+        std::uint64_t seq = 0;
+        int pendingIdx = -1;
+    };
+
+    /** Tracks an issued memory instruction until its tail access
+     *  returns (the paper's tail-request semantics). */
+    struct PendingMemOp
+    {
+        bool valid = false;
+        int warpId = -1;
+        bool write = false;
+        int destReg = -1;
+        std::uint32_t remaining = 0;
+    };
+
+    void maybeDispatchCtas();
+    void fetchStage(double now_ps);
+    void issueStage();
+    void execStage();
+    void memStage(double now_ps);
+    void retireFinishedWarps();
+    void classifyStallCycle();
+    void pendingAccessDone(int pending_idx);
+    bool lsuHasFreeSlot() const { return lsuOccupied < int(lsu.size()); }
+    int lsuAllocSlot(int warp, const WarpInstData &inst);
+    int allocPendingOp(int warp, bool write, int dest_reg,
+                       std::uint32_t n_accesses);
+    void rebuildSchedLists();
+    void popIbufHead(int warp);
+
+    CoreParams cfg;
+    MemFetchAllocator *alloc;
+    WorkSource *source = nullptr;
+
+    std::unique_ptr<CacheModel> l1dCache;
+    std::unique_ptr<CacheModel> l1iCache;
+
+    std::vector<Warp> warps;
+    std::vector<std::uint8_t> wflags;  ///< WarpFlag bits per warp
+    std::vector<std::uint8_t> ibufCnt; ///< mirrors warps[w].ibuf.size()
+    /** Compact copy of each warp's I-buffer head (valid iff ibufCnt>0):
+     *  the issue scan never touches the deque until it issues. */
+    std::vector<std::uint8_t> headOp;
+    std::vector<std::int16_t> headDest;
+    std::vector<std::int16_t> headSrc;
+    /** Bit w set iff warp w may attempt a fetch this cycle. */
+    std::uint64_t fetchEligible = 0;
+    int liveWarps = 0;
+    int decodedWarps = 0; ///< warps with a non-empty I-buffer
+    bool retireDirty = false;
+    bool schedListDirty = true;
+    std::vector<std::vector<int>> schedList; ///< per-sched, age order
+    void syncHead(int warp);
+    void updateFetchBit(int warp);
+
+    std::vector<CtaSlot> ctas;
+    int activeCtas = 0;
+    std::uint64_t ageCounter = 0;
+    Scoreboard scoreboard;
+
+    std::vector<LsuSlot> lsu;
+    std::uint64_t lsuSeq = 0;
+    int lsuOccupied = 0;
+    std::vector<PendingMemOp> pendingOps;
+    std::vector<int> pendingFree;
+    /** L1D hit completions in flight: PendingMemOp index, ready cycle. */
+    DelayPipe<int> hitPipe;
+
+    /** Exec pipes: (warp, destReg) completing at a cycle. */
+    DelayPipe<std::pair<int, int>> aluPipe;
+    DelayPipe<std::pair<int, int>> sfuPipe;
+    int aluInflight = 0;
+    int sfuInflight = 0;
+
+    Cycle cycle = 0;
+    int fetchPtr = 0;
+    std::vector<int> greedyWarp; ///< per scheduler
+    std::vector<int> lrrPtr;     ///< per scheduler
+    bool outgoingToggle = false;
+
+    /** Per-cycle issue bookkeeping for stall classification. */
+    int issuedThisCycle = 0;
+    bool sawStructMem = false, sawStructAlu = false;
+    bool sawDataMem = false, sawDataAlu = false;
+    int aluIssuedThisCycle = 0;
+
+    bool finishedLatched = false;
+    CoreCounters ctr;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_SMCORE_SM_CORE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Issue-stall taxonomy of the paper's Fig. 7.
+ */
+
+#ifndef BWSIM_SMCORE_STALL_HH
+#define BWSIM_SMCORE_STALL_HH
+
+namespace bwsim
+{
+
+/**
+ * Why a core issued nothing in a cycle (§IV-A5):
+ *  - data hazards: every decoded warp is blocked by a dependency on a
+ *    pending memory (DataMem) or compute (DataAlu) operation;
+ *  - structural hazards: at least one dependency-free warp exists but
+ *    its functional unit is out of resources (StrMem for the LSU /
+ *    memory pipeline, StrAlu for the execution pipes);
+ *  - Fetch: no warp has a decoded instruction to consider.
+ * Structural beats data beats fetch when several apply, and memory
+ * beats ALU within each class, matching the paper's definitions.
+ */
+enum class IssueStall : unsigned
+{
+    DataMem = 0,
+    DataAlu,
+    StrMem,
+    StrAlu,
+    Fetch,
+    NumCauses
+};
+
+constexpr unsigned numIssueStallCauses =
+    static_cast<unsigned>(IssueStall::NumCauses);
+
+inline const char *
+issueStallName(IssueStall s)
+{
+    switch (s) {
+      case IssueStall::DataMem:
+        return "data-MEM";
+      case IssueStall::DataAlu:
+        return "data-ALU";
+      case IssueStall::StrMem:
+        return "str-MEM";
+      case IssueStall::StrAlu:
+        return "str-ALU";
+      case IssueStall::Fetch:
+        return "fetch";
+      default:
+        return "?";
+    }
+}
+
+} // namespace bwsim
+
+#endif // BWSIM_SMCORE_STALL_HH

@@ -1,0 +1,25 @@
+#include "stats/occupancy_hist.hh"
+
+namespace bwsim::stats
+{
+
+const char *
+occBandLabel(OccBand band)
+{
+    switch (band) {
+      case OccBand::UnderQuarter:
+        return "(0-25%)";
+      case OccBand::UnderHalf:
+        return "[25-50%)";
+      case OccBand::UnderThreeQ:
+        return "[50-75%)";
+      case OccBand::UnderFull:
+        return "[75-100%)";
+      case OccBand::Full:
+        return "100%";
+      default:
+        panic("invalid occupancy band %u", static_cast<unsigned>(band));
+    }
+}
+
+} // namespace bwsim::stats

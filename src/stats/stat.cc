@@ -1,0 +1,114 @@
+#include "stats/stat.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bwsim::stats
+{
+
+StatBase::StatBase(Group *parent, std::string name, std::string desc)
+    : statName(std::move(name)), statDesc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+std::string
+StatBase::render() const
+{
+    return csprintf("%-40s %14.4f  # %s", name().c_str(), value(),
+                    desc().c_str());
+}
+
+Distribution::Distribution(Group *parent, std::string name, std::string desc,
+                           double min, double max, unsigned num_buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      lo(min), hi(max), width((max - min) / num_buckets),
+      buckets(num_buckets, 0)
+{
+    bwsim_assert(max > min && num_buckets > 0,
+                 "bad distribution bounds [%f, %f] x %u", min, max,
+                 num_buckets);
+}
+
+void
+Distribution::sample(double v, std::uint64_t weight)
+{
+    double clamped = std::clamp(v, lo, hi);
+    auto idx = static_cast<std::size_t>((clamped - lo) / width);
+    if (idx >= buckets.size())
+        idx = buckets.size() - 1;
+    buckets[idx] += weight;
+    total += weight;
+    sum += v * static_cast<double>(weight);
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    total = 0;
+    sum = 0.0;
+}
+
+std::string
+Distribution::render() const
+{
+    std::string s = csprintf("%-40s mean=%10.2f n=%llu  # %s",
+                             name().c_str(), value(),
+                             static_cast<unsigned long long>(total),
+                             desc().c_str());
+    return s;
+}
+
+Group::Group(std::string name, Group *parent_)
+    : groupName(std::move(name)), parent(parent_)
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+Group::~Group()
+{
+    if (parent)
+        parent->removeChild(this);
+}
+
+void
+Group::addStat(StatBase *stat)
+{
+    statsVec.push_back(stat);
+}
+
+void
+Group::addChild(Group *child)
+{
+    kids.push_back(child);
+}
+
+void
+Group::removeChild(Group *child)
+{
+    kids.erase(std::remove(kids.begin(), kids.end(), child), kids.end());
+}
+
+void
+Group::resetAll()
+{
+    for (auto *s : statsVec)
+        s->reset();
+    for (auto *g : kids)
+        g->resetAll();
+}
+
+void
+Group::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string path = prefix.empty() ? groupName : prefix + "." + groupName;
+    for (const auto *s : statsVec)
+        os << path << "." << s->render() << "\n";
+    for (const auto *g : kids)
+        g->dump(os, path);
+}
+
+} // namespace bwsim::stats

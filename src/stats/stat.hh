@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Components own named statistics grouped into stats::Group objects;
+ * groups form a tree that can be dumped as a table at the end of a
+ * simulation. Only the functionality bwsim needs is implemented:
+ * scalar counters, running averages, and bucketed distributions.
+ */
+
+#ifndef BWSIM_STATS_STAT_HH
+#define BWSIM_STATS_STAT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace bwsim::stats
+{
+
+class Group;
+
+/** Base class for all statistics: a name, a description, a value. */
+class StatBase
+{
+  public:
+    StatBase(Group *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    /** Primary scalar value of this statistic. */
+    virtual double value() const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+    /** One-line rendering for stat dumps. */
+    virtual std::string render() const;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** A monotonically updated scalar counter. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(Group *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator++() { ++count; return *this; }
+    Scalar &operator+=(std::uint64_t n) { count += n; return *this; }
+
+    std::uint64_t get() const { return count; }
+    double value() const override { return static_cast<double>(count); }
+    void reset() override { count = 0; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Mean of all sampled values (e.g. average memory latency). */
+class Average : public StatBase
+{
+  public:
+    Average(Group *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+    }
+
+    std::uint64_t samples() const { return n; }
+    double value() const override { return n ? sum / n : 0.0; }
+    void reset() override { sum = 0.0; n = 0; }
+
+  private:
+    double sum = 0.0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * Fixed-bucket distribution over [min, max] with uniform bucket width.
+ * Out-of-range samples are clamped into the first/last bucket.
+ */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(Group *parent, std::string name, std::string desc,
+                 double min, double max, unsigned num_buckets);
+
+    void sample(double v, std::uint64_t weight = 1);
+
+    std::uint64_t bucketCount(unsigned i) const { return buckets.at(i); }
+    unsigned numBuckets() const { return unsigned(buckets.size()); }
+    std::uint64_t samples() const { return total; }
+
+    /** Mean of sampled values. */
+    double value() const override { return total ? sum / total : 0.0; }
+    void reset() override;
+    std::string render() const override;
+
+  private:
+    double lo, hi, width;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t total = 0;
+    double sum = 0.0;
+};
+
+/**
+ * A node in the statistics tree. Groups do not own their stats (the
+ * owning component does, as plain members); they only record pointers
+ * for dumping, so member declaration order must place the Group before
+ * the stats that register with it.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name, Group *parent = nullptr);
+    ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return groupName; }
+
+    void addStat(StatBase *stat);
+    void addChild(Group *child);
+    void removeChild(Group *child);
+
+    /** Recursively reset every stat in this subtree. */
+    void resetAll();
+
+    /** Recursively print "path.stat value # desc" lines. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    const std::vector<StatBase *> &statList() const { return statsVec; }
+    const std::vector<Group *> &children() const { return kids; }
+
+  private:
+    std::string groupName;
+    Group *parent;
+    std::vector<StatBase *> statsVec;
+    std::vector<Group *> kids;
+};
+
+} // namespace bwsim::stats
+
+#endif // BWSIM_STATS_STAT_HH

@@ -1,0 +1,125 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace bwsim::stats
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    bwsim_assert(!header.empty(), "a table needs at least one column");
+}
+
+TextTable &
+TextTable::newRow()
+{
+    bwsim_assert(rows.empty() || rows.back().size() == header.size(),
+                 "previous row has %zu of %zu cells", rows.back().size(),
+                 header.size());
+    rows.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::add(const std::string &cell)
+{
+    bwsim_assert(!rows.empty(), "call newRow() before adding cells");
+    bwsim_assert(rows.back().size() < header.size(),
+                 "row already has %zu cells", header.size());
+    rows.back().push_back(cell);
+    return *this;
+}
+
+TextTable &
+TextTable::add(const char *cell)
+{
+    return add(std::string(cell));
+}
+
+TextTable &
+TextTable::addNum(double v, int precision)
+{
+    return add(csprintf("%.*f", precision, v));
+}
+
+TextTable &
+TextTable::addInt(long long v)
+{
+    return add(csprintf("%lld", v));
+}
+
+TextTable &
+TextTable::addPct(double fraction, int precision)
+{
+    return add(csprintf("%.*f%%", precision, fraction * 100.0));
+}
+
+const std::string &
+TextTable::cell(std::size_t row, std::size_t col) const
+{
+    return rows.at(row).at(col);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    emit_row(header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < header.size(); ++c)
+        total += width[c] + (c + 1 < header.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += "\"\"";
+            else
+                out += ch;
+        }
+        out += "\"";
+        return out;
+    };
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << quote(row[c]);
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit_row(header);
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+} // namespace bwsim::stats

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SyntheticCursor: lazily generates one warp's instruction stream from
+ * a BenchmarkProfile, with deterministic per-warp randomness.
+ */
+
+#ifndef BWSIM_WORKLOADS_TRACE_GEN_HH
+#define BWSIM_WORKLOADS_TRACE_GEN_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hh"
+#include "smcore/isa.hh"
+#include "workloads/profile.hh"
+
+namespace bwsim
+{
+
+/** Virtual address-space layout of the synthetic workloads. */
+namespace wl_layout
+{
+constexpr Addr codeBase = 0x0100'0000;
+constexpr Addr hotBase = 0x1000'0000;
+constexpr Addr hotStride = 0x0010'0000; ///< per core
+constexpr Addr tileBase = 0x2000'0000;
+constexpr Addr tileStride = 0x0100'0000; ///< per core
+constexpr Addr sharedBase = 0x4000'0000;
+constexpr Addr randomBase = 0x5000'0000;
+constexpr Addr streamBase = 0x8000'0000;
+constexpr Addr streamChunk = 0x0040'0000; ///< per warp
+constexpr unsigned instBytes = 8;
+} // namespace wl_layout
+
+class SyntheticCursor final : public TraceCursor
+{
+  public:
+    /**
+     * @param prof workload description (must outlive the cursor)
+     * @param core_id core the CTA landed on (per-core regions)
+     * @param cta_seq global CTA sequence number
+     * @param warp_in_cta warp index within the CTA
+     * @param line_bytes cache line size for address alignment
+     */
+    SyntheticCursor(const BenchmarkProfile &prof, int core_id,
+                    std::uint64_t cta_seq, int warp_in_cta,
+                    std::uint32_t line_bytes);
+
+    bool next(WarpInstData &out) override;
+    Addr nextPc() const override;
+    bool done() const override { return instIdx >= prof.instsPerWarp; }
+
+  private:
+    Addr genHot();
+    Addr genTile();
+    Addr genShared();
+    Addr genRandom();
+    Addr genStream(std::uint32_t burst_idx);
+
+    const BenchmarkProfile &prof;
+    int coreId;
+    std::uint64_t ctaSeq;
+    int warpInCta;
+    std::uint64_t globalWarpId;
+    std::uint32_t line;
+    Rng rng;
+
+    int instIdx = 0;
+    int memInstCount = 0;
+    std::uint64_t streamPos = 0;
+    std::uint64_t tileWindowStart = 0; ///< line index within the tile
+};
+
+/** Convenience factory used by the GPU's CTA dispatcher. */
+std::unique_ptr<TraceCursor>
+makeSyntheticCursor(const BenchmarkProfile &prof, int core_id,
+                    std::uint64_t cta_seq, int warp_in_cta,
+                    std::uint32_t line_bytes);
+
+} // namespace bwsim
+
+#endif // BWSIM_WORKLOADS_TRACE_GEN_HH

@@ -1,0 +1,467 @@
+/** @file Unit tests for the CacheModel engine (L1D/L1I/L2 behaviours). */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+using namespace bwsim;
+
+namespace
+{
+
+constexpr Addr line(std::uint64_t i) { return i * 128; }
+
+CacheParams
+l1Params()
+{
+    CacheParams p;
+    p.name = "l1";
+    p.sizeBytes = 16 * 1024;
+    p.assoc = 4;
+    p.writePolicy = WritePolicy::WriteEvict;
+    p.mshrEntries = 4;
+    p.mshrMaxMerge = 4;
+    p.missQueueEntries = 4;
+    p.respQueueEntries = 0;
+    return p;
+}
+
+CacheParams
+l2Params()
+{
+    CacheParams p;
+    p.name = "l2";
+    p.sizeBytes = 64 * 1024;
+    p.assoc = 8;
+    p.writePolicy = WritePolicy::WriteBack;
+    p.mshrEntries = 4;
+    p.mshrMaxMerge = 4;
+    p.missQueueEntries = 4;
+    p.respQueueEntries = 4;
+    p.hitLatency = 2;
+    p.portBytesPerCycle = 32; // 4 cycles per 128B line
+    return p;
+}
+
+CacheAccess
+readAcc(Addr a, int warp = 0, int slot = 0, MemFetch *mf = nullptr)
+{
+    CacheAccess acc;
+    acc.lineAddr = a;
+    acc.warpId = warp;
+    acc.slotId = slot;
+    acc.mf = mf;
+    return acc;
+}
+
+/** Drive a miss through fill so the line becomes resident. L2 caches
+ *  need the access to carry a packet; the reply is drained and freed. */
+void
+warmLine(CacheModel &c, MemFetchAllocator &alloc, Addr a, Cycle &now)
+{
+    bool is_l2 = c.params().respQueueEntries > 0;
+    MemFetch *req = nullptr;
+    if (is_l2) {
+        req = alloc.alloc();
+        req->lineAddr = a;
+        req->coreId = 0;
+    }
+    CacheOutcome out = c.access(readAcc(a, 0, 0, req), ++now, 0.0);
+    ASSERT_EQ(out, CacheOutcome::MissIssued);
+    // The fetch may sit behind a writeback of the evicted victim.
+    MemFetch *mf = c.missQueuePop();
+    while (mf->type == AccessType::L2Writeback) {
+        alloc.free(mf);
+        ASSERT_FALSE(c.missQueueEmpty());
+        mf = c.missQueuePop();
+    }
+    std::vector<MshrWaiter> woken;
+    ASSERT_TRUE(c.fill(mf, ++now, 0.0, woken));
+    if (is_l2) {
+        now += 1000; // let the reply mature past hit latency
+        ASSERT_TRUE(c.respQueueReady(now));
+        alloc.free(c.respQueuePop());
+    } else {
+        alloc.free(mf);
+    }
+}
+
+} // namespace
+
+TEST(CacheL1, ReadMissIssuesPacket)
+{
+    MemFetchAllocator alloc;
+    CacheModel c(l1Params(), &alloc, 3);
+    EXPECT_EQ(c.access(readAcc(line(1), 5, 9), 1, 0.0),
+              CacheOutcome::MissIssued);
+    ASSERT_FALSE(c.missQueueEmpty());
+    MemFetch *mf = c.missQueueFront();
+    EXPECT_EQ(mf->lineAddr, line(1));
+    EXPECT_EQ(mf->coreId, 3);
+    EXPECT_EQ(mf->warpId, 5);
+    EXPECT_EQ(mf->type, AccessType::GlobalRead);
+    EXPECT_EQ(c.counters().readMisses, 1u);
+}
+
+TEST(CacheL1, MergeSecondAccess)
+{
+    MemFetchAllocator alloc;
+    CacheModel c(l1Params(), &alloc, 0);
+    EXPECT_EQ(c.access(readAcc(line(1), 1, 1), 1, 0.0),
+              CacheOutcome::MissIssued);
+    EXPECT_EQ(c.access(readAcc(line(1), 2, 2), 2, 0.0),
+              CacheOutcome::MissMerged);
+    EXPECT_EQ(c.counters().mshrMerges, 1u);
+    // Only one packet goes downstream.
+    EXPECT_EQ(c.missQueueSize(), 1u);
+
+    MemFetch *mf = c.missQueuePop();
+    std::vector<MshrWaiter> woken;
+    ASSERT_TRUE(c.fill(mf, 3, 0.0, woken));
+    ASSERT_EQ(woken.size(), 2u);
+    EXPECT_EQ(woken[0].warpId, 1);
+    EXPECT_EQ(woken[1].warpId, 2);
+    alloc.free(mf);
+}
+
+TEST(CacheL1, HitAfterFill)
+{
+    MemFetchAllocator alloc;
+    CacheModel c(l1Params(), &alloc, 0);
+    Cycle now = 0;
+    warmLine(c, alloc, line(1), now);
+    EXPECT_EQ(c.access(readAcc(line(1)), ++now, 0.0),
+              CacheOutcome::HitServiced);
+    EXPECT_EQ(c.counters().readHits, 1u);
+}
+
+TEST(CacheL1, MshrFullStalls)
+{
+    MemFetchAllocator alloc;
+    CacheModel c(l1Params(), &alloc, 0);
+    Cycle now = 0;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(c.access(readAcc(line(i)), ++now, 0.0),
+                  CacheOutcome::MissIssued);
+    EXPECT_EQ(c.access(readAcc(line(10)), ++now, 0.0),
+              CacheOutcome::StallMshrFull);
+    EXPECT_EQ(c.counters()
+                  .stallCycles[unsigned(CacheStallCause::MshrFull)],
+              1u);
+    // Merging into an existing entry still works while full.
+    EXPECT_EQ(c.access(readAcc(line(2)), ++now, 0.0),
+              CacheOutcome::MissMerged);
+}
+
+TEST(CacheL1, MissQueueFullIsBackPressure)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l1Params();
+    p.mshrEntries = 16; // make the miss queue the binding resource
+    CacheModel c(p, &alloc, 0);
+    Cycle now = 0;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(c.access(readAcc(line(i)), ++now, 0.0),
+                  CacheOutcome::MissIssued);
+    // Queue (4) now full and nothing drains it: back-pressure.
+    EXPECT_EQ(c.access(readAcc(line(20)), ++now, 0.0),
+              CacheOutcome::StallMissQueueFull);
+    EXPECT_EQ(c.counters()
+                  .stallCycles[unsigned(CacheStallCause::MissQueueFull)],
+              1u);
+}
+
+TEST(CacheL1, LineAllocStallWhenSetReserved)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l1Params();
+    p.sizeBytes = 2 * 2 * 128; // 2 sets x 2 ways
+    p.assoc = 2;
+    p.mshrEntries = 16;
+    p.missQueueEntries = 16;
+    CacheModel c(p, &alloc, 0);
+    Cycle now = 0;
+    // Two misses reserve both ways of set 0 (lines 0 and 2).
+    EXPECT_EQ(c.access(readAcc(line(0)), ++now, 0.0),
+              CacheOutcome::MissIssued);
+    EXPECT_EQ(c.access(readAcc(line(2)), ++now, 0.0),
+              CacheOutcome::MissIssued);
+    EXPECT_EQ(c.access(readAcc(line(4)), ++now, 0.0),
+              CacheOutcome::StallLineAlloc);
+    EXPECT_EQ(c.counters()
+                  .stallCycles[unsigned(CacheStallCause::LineAlloc)],
+              1u);
+}
+
+TEST(CacheL1, WriteEvictInvalidatesAndForwards)
+{
+    MemFetchAllocator alloc;
+    CacheModel c(l1Params(), &alloc, 0);
+    Cycle now = 0;
+    warmLine(c, alloc, line(1), now);
+
+    CacheAccess st = readAcc(line(1));
+    st.write = true;
+    st.storeBytes = 32;
+    EXPECT_EQ(c.access(st, ++now, 0.0), CacheOutcome::WriteForwarded);
+    EXPECT_EQ(c.counters().writeHits, 1u);
+    // The write went downstream...
+    ASSERT_EQ(c.missQueueSize(), 1u);
+    MemFetch *w = c.missQueuePop();
+    EXPECT_EQ(w->type, AccessType::GlobalWrite);
+    EXPECT_EQ(w->storeBytes, 32u);
+    alloc.free(w);
+    // ...and the line was evicted (write-evict): next read misses.
+    EXPECT_EQ(c.access(readAcc(line(1)), ++now, 0.0),
+              CacheOutcome::MissIssued);
+}
+
+TEST(CacheL2, ReadHitGoesToResponseQueue)
+{
+    MemFetchAllocator alloc;
+    CacheModel c(l2Params(), &alloc, -1);
+    Cycle now = 0;
+    warmLine(c, alloc, line(1), now);
+
+    MemFetch *req = alloc.alloc();
+    req->lineAddr = line(1);
+    req->coreId = 4;
+    CacheOutcome out = c.access(readAcc(line(1), 0, 0, req), now + 10, 0.0);
+    EXPECT_EQ(out, CacheOutcome::HitServiced);
+    EXPECT_EQ(req->servicedBy, ServicedBy::L2);
+    // Available only after the hit latency (2 cycles).
+    EXPECT_FALSE(c.respQueueReady(now + 10));
+    EXPECT_TRUE(c.respQueueReady(now + 12));
+    EXPECT_EQ(c.respQueuePop(), req);
+    alloc.free(req);
+}
+
+TEST(CacheL2, PortContentionStallsHits)
+{
+    MemFetchAllocator alloc;
+    CacheModel c(l2Params(), &alloc, -1);
+    Cycle now = 0;
+    warmLine(c, alloc, line(1), now);
+    warmLine(c, alloc, line(2), now);
+    now += 10;
+
+    MemFetch *r1 = alloc.alloc();
+    r1->lineAddr = line(1);
+    r1->coreId = 0;
+    MemFetch *r2 = alloc.alloc();
+    r2->lineAddr = line(2);
+    r2->coreId = 0;
+    EXPECT_EQ(c.access(readAcc(line(1), 0, 0, r1), now, 0.0),
+              CacheOutcome::HitServiced);
+    // Port busy for 4 cycles (128B / 32B): a second hit stalls.
+    EXPECT_EQ(c.access(readAcc(line(2), 0, 0, r2), now + 1, 0.0),
+              CacheOutcome::StallPortBusy);
+    EXPECT_EQ(c.access(readAcc(line(2), 0, 0, r2), now + 4, 0.0),
+              CacheOutcome::HitServiced);
+    while (c.respQueueReady(now + 100))
+        alloc.free(c.respQueuePop());
+}
+
+TEST(CacheL2, RespQueueFullIsIcntBackPressure)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l2Params();
+    p.respQueueEntries = 1;
+    p.portBytesPerCycle = 0; // isolate the response-queue limit
+    CacheModel c(p, &alloc, -1);
+    Cycle now = 0;
+    warmLine(c, alloc, line(1), now);
+    warmLine(c, alloc, line(2), now);
+    now += 10;
+
+    MemFetch *r1 = alloc.alloc();
+    r1->lineAddr = line(1);
+    r1->coreId = 0;
+    MemFetch *r2 = alloc.alloc();
+    r2->lineAddr = line(2);
+    r2->coreId = 0;
+    EXPECT_EQ(c.access(readAcc(line(1), 0, 0, r1), ++now, 0.0),
+              CacheOutcome::HitServiced);
+    EXPECT_EQ(c.access(readAcc(line(2), 0, 0, r2), ++now, 0.0),
+              CacheOutcome::StallRespQueueFull);
+    EXPECT_EQ(c.counters()
+                  .stallCycles[unsigned(CacheStallCause::RespQueueFull)],
+              1u);
+    alloc.free(c.respQueuePop());
+    alloc.free(r2);
+}
+
+TEST(CacheL2, WriteHitMarksDirtyAndWritesBack)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l2Params();
+    p.sizeBytes = 2 * 8 * 128; // 2 sets x 8 ways: easy to evict
+    CacheModel c(p, &alloc, -1);
+    Cycle now = 0;
+    warmLine(c, alloc, line(0), now);
+
+    MemFetch *w = alloc.alloc();
+    w->type = AccessType::GlobalWrite;
+    w->lineAddr = line(0);
+    w->storeBytes = 32;
+    CacheAccess acc = readAcc(line(0), 0, 0, w);
+    acc.write = true;
+    acc.storeBytes = 32;
+    EXPECT_EQ(c.access(acc, ++now, 0.0), CacheOutcome::HitServiced);
+    EXPECT_EQ(c.counters().writeHits, 1u);
+
+    // Displace the dirty line: 8 more misses to the same set force
+    // the eviction, which must emit a writeback of line 0.
+    bool saw_wb = false;
+    for (std::uint64_t i = 1; i <= 8; ++i) {
+        MemFetch *req = alloc.alloc();
+        req->lineAddr = line(i * 2); // same set (2 sets, stride 2)
+        req->coreId = 0;
+        CacheOutcome out =
+            c.access(readAcc(line(i * 2), 0, 0, req), ++now, 0.0);
+        ASSERT_EQ(out, CacheOutcome::MissIssued);
+        while (!c.missQueueEmpty()) {
+            MemFetch *mf = c.missQueuePop();
+            if (mf->type == AccessType::L2Writeback) {
+                EXPECT_EQ(mf->lineAddr, line(0));
+                saw_wb = true;
+                alloc.free(mf);
+            } else {
+                std::vector<MshrWaiter> woken;
+                ASSERT_TRUE(c.fill(mf, ++now, 0.0, woken));
+            }
+        }
+        now += 10;
+        while (c.respQueueReady(now))
+            alloc.free(c.respQueuePop());
+    }
+    EXPECT_TRUE(saw_wb);
+    EXPECT_EQ(c.counters().writebacks, 1u);
+}
+
+TEST(CacheL2, PartialWriteMissFetchesOnWrite)
+{
+    MemFetchAllocator alloc;
+    CacheModel c(l2Params(), &alloc, -1);
+    MemFetch *w = alloc.alloc();
+    w->type = AccessType::GlobalWrite;
+    w->lineAddr = line(9);
+    w->storeBytes = 32;
+    CacheAccess acc = readAcc(line(9), 0, 0, w);
+    acc.write = true;
+    acc.storeBytes = 32;
+    EXPECT_EQ(c.access(acc, 1, 0.0), CacheOutcome::WriteAllocated);
+    // A fetch-on-write read goes to DRAM.
+    ASSERT_EQ(c.missQueueSize(), 1u);
+    MemFetch *f = c.missQueuePop();
+    EXPECT_EQ(f->type, AccessType::GlobalRead);
+    EXPECT_EQ(f->lineAddr, line(9));
+    // Completing the fill leaves the line dirty (write merged). The
+    // cache frees the L2-generated fetch itself (it has no waiter).
+    std::vector<MshrWaiter> woken;
+    ASSERT_TRUE(c.fill(f, 2, 0.0, woken));
+    EXPECT_TRUE(woken.empty());
+    EXPECT_EQ(alloc.outstanding(), 0u);
+}
+
+TEST(CacheL2, FullLineWriteMissSkipsFetch)
+{
+    MemFetchAllocator alloc;
+    CacheModel c(l2Params(), &alloc, -1);
+    MemFetch *w = alloc.alloc();
+    w->type = AccessType::GlobalWrite;
+    w->lineAddr = line(9);
+    w->storeBytes = 128;
+    CacheAccess acc = readAcc(line(9), 0, 0, w);
+    acc.write = true;
+    acc.storeBytes = 128;
+    EXPECT_EQ(c.access(acc, 1, 0.0), CacheOutcome::WriteAllocated);
+    // No fetch: every byte is overwritten.
+    EXPECT_TRUE(c.missQueueEmpty());
+    EXPECT_TRUE(c.lineValid(line(9)));
+    // A subsequent read hits the dirty line.
+    MemFetch *r = alloc.alloc();
+    r->lineAddr = line(9);
+    r->coreId = 0;
+    EXPECT_EQ(c.access(readAcc(line(9), 0, 0, r), 10, 0.0),
+              CacheOutcome::HitServiced);
+    alloc.free(c.respQueuePop());
+    EXPECT_EQ(alloc.outstanding(), 0u);
+}
+
+TEST(CacheL2, WriteMergesIntoPendingFill)
+{
+    MemFetchAllocator alloc;
+    CacheModel c(l2Params(), &alloc, -1);
+    MemFetch *r = alloc.alloc();
+    r->lineAddr = line(5);
+    r->coreId = 2;
+    EXPECT_EQ(c.access(readAcc(line(5), 0, 0, r), 1, 0.0),
+              CacheOutcome::MissIssued);
+
+    MemFetch *w = alloc.alloc();
+    w->type = AccessType::GlobalWrite;
+    w->lineAddr = line(5);
+    w->storeBytes = 32;
+    CacheAccess acc = readAcc(line(5), 0, 0, w);
+    acc.write = true;
+    acc.storeBytes = 32;
+    EXPECT_EQ(c.access(acc, 2, 0.0), CacheOutcome::WriteMerged);
+
+    MemFetch *f = c.missQueuePop();
+    EXPECT_EQ(f, r);
+    std::vector<MshrWaiter> woken;
+    ASSERT_TRUE(c.fill(f, 3, 0.0, woken));
+    // The read waiter is in the response queue; the line is dirty.
+    EXPECT_TRUE(c.respQueueReady(100));
+    alloc.free(c.respQueuePop());
+    EXPECT_EQ(alloc.outstanding(), 0u);
+}
+
+TEST(CacheL2, FillBlockedByFullResponseQueue)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l2Params();
+    p.respQueueEntries = 1;
+    p.portBytesPerCycle = 0;
+    CacheModel c(p, &alloc, -1);
+    Cycle now = 0;
+    warmLine(c, alloc, line(1), now);
+    now += 5;
+
+    // Occupy the single response-queue slot with a hit.
+    MemFetch *r1 = alloc.alloc();
+    r1->lineAddr = line(1);
+    r1->coreId = 0;
+    EXPECT_EQ(c.access(readAcc(line(1), 0, 0, r1), ++now, 0.0),
+              CacheOutcome::HitServiced);
+
+    // A miss whose fill returns while the queue is full must wait.
+    MemFetch *r2 = alloc.alloc();
+    r2->lineAddr = line(2);
+    r2->coreId = 0;
+    EXPECT_EQ(c.access(readAcc(line(2), 0, 0, r2), ++now, 0.0),
+              CacheOutcome::MissIssued);
+    MemFetch *f = c.missQueuePop();
+    std::vector<MshrWaiter> woken;
+    EXPECT_FALSE(c.fill(f, ++now, 0.0, woken)); // refused
+    alloc.free(c.respQueuePop());               // drain
+    EXPECT_TRUE(c.fill(f, ++now, 0.0, woken));  // now accepted
+    alloc.free(c.respQueuePop());
+    EXPECT_EQ(alloc.outstanding(), 0u);
+}
+
+TEST(CacheModel, StallsNotCountedAsAccesses)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l1Params();
+    p.mshrEntries = 1;
+    CacheModel c(p, &alloc, 0);
+    Cycle now = 0;
+    EXPECT_EQ(c.access(readAcc(line(0)), ++now, 0.0),
+              CacheOutcome::MissIssued);
+    for (int i = 0; i < 3; ++i)
+        c.access(readAcc(line(1)), ++now, 0.0); // stalls, retried
+    EXPECT_EQ(c.counters().accesses, 1u);
+    EXPECT_EQ(c.counters().totalStallCycles(), 3u);
+}

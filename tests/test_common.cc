@@ -1,0 +1,133 @@
+/** @file Unit tests for src/common: intmath, rng, logging helpers. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+
+using namespace bwsim;
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(128));
+    EXPECT_TRUE(isPowerOf2(1ull << 63));
+    EXPECT_FALSE(isPowerOf2((1ull << 63) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(128), 7u);
+    EXPECT_EQ(floorLog2(255), 7u);
+    EXPECT_EQ(floorLog2(256), 8u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(128), 7u);
+    EXPECT_EQ(ceilLog2(129), 8u);
+}
+
+TEST(IntMath, DivCeilAndRounding)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(136, 32), 5u);
+    EXPECT_EQ(roundUp(5, 4), 8u);
+    EXPECT_EQ(roundUp(8, 4), 8u);
+    EXPECT_EQ(roundDown(5, 4), 4u);
+    EXPECT_EQ(roundDown(8, 4), 8u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, MixSeedSpreads)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t a = 0; a < 32; ++a)
+        for (std::uint64_t b = 0; b < 32; ++b)
+            seeds.insert(Rng::mixSeed(a, b));
+    EXPECT_EQ(seeds.size(), 32u * 32u);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (r.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Log, Csprintf)
+{
+    EXPECT_EQ(csprintf("x=%d", 42), "x=42");
+    EXPECT_EQ(csprintf("%s-%05u", "ab", 7u), "ab-00007");
+    EXPECT_EQ(csprintf("plain"), "plain");
+}
+
+TEST(Log, QuietFlag)
+{
+    EXPECT_FALSE(quiet());
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+}

@@ -1,0 +1,241 @@
+/** @file Integration tests: tiny workloads through the whole GPU. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+
+using namespace bwsim;
+
+namespace
+{
+
+GpuConfig
+quickConfig(GpuConfig c = GpuConfig::baseline())
+{
+    c.maxCoreCycles = 400000;
+    return c;
+}
+
+} // namespace
+
+TEST(GpuIntegration, TinyComputeCompletes)
+{
+    Gpu gpu(quickConfig(), makeTestProfile("tiny-compute"));
+    SimResult r = gpu.run();
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.warpInstsIssued, 16u * 4 * 120);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_EQ(gpu.allocator().outstanding(), 0u);
+}
+
+TEST(GpuIntegration, StreamWorkloadTouchesDram)
+{
+    Gpu gpu(quickConfig(), makeTestProfile("tiny-stream"));
+    SimResult r = gpu.run();
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_GT(r.dramReads, 100u);
+    EXPECT_GT(r.dramEfficiency, 0.0);
+    EXPECT_LE(r.dramEfficiency, 1.0);
+    EXPECT_GT(r.l1MissRate, 0.9); // pure streaming never re-hits L1
+    EXPECT_EQ(gpu.allocator().outstanding(), 0u);
+}
+
+TEST(GpuIntegration, L2WorkloadHitsL2)
+{
+    Gpu gpu(quickConfig(), makeTestProfile("tiny-l2"));
+    SimResult r = gpu.run();
+    EXPECT_FALSE(r.timedOut);
+    // The 256 KB shared region fits the 768 KB L2: few DRAM reads
+    // relative to L2 traffic after warmup.
+    EXPECT_LT(r.l2MissRate, 0.5);
+    EXPECT_GT(r.l2Accesses, 1000u);
+    EXPECT_EQ(gpu.allocator().outstanding(), 0u);
+}
+
+TEST(GpuIntegration, Deterministic)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-mixed");
+    Gpu a(quickConfig(), p);
+    Gpu b(quickConfig(), p);
+    SimResult ra = a.run();
+    SimResult rb = b.run();
+    EXPECT_EQ(ra.coreCycles, rb.coreCycles);
+    EXPECT_EQ(ra.warpInstsIssued, rb.warpInstsIssued);
+    EXPECT_DOUBLE_EQ(ra.aml, rb.aml);
+    EXPECT_EQ(ra.dramReads, rb.dramReads);
+}
+
+TEST(GpuIntegration, PerfectMemFasterThanBaseline)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-mixed");
+    SimResult base = Gpu(quickConfig(), p).run();
+    SimResult pinf = Gpu(quickConfig(GpuConfig::perfectMem()), p).run();
+    EXPECT_GT(pinf.speedupOver(base), 1.0);
+    // P-inf bounds P-DRAM (Table II relationship).
+    SimResult pdram = Gpu(quickConfig(GpuConfig::idealDram()), p).run();
+    EXPECT_GE(pinf.speedupOver(base), pdram.speedupOver(base) * 0.98);
+}
+
+TEST(GpuIntegration, PerfectMemLatenciesAreTheConstants)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-stream");
+    SimResult r = Gpu(quickConfig(GpuConfig::perfectMem()), p).run();
+    // Pure streaming always misses the perfect L2 tags: AML ~ 220.
+    EXPECT_NEAR(r.aml, 220.0, 10.0);
+}
+
+TEST(GpuIntegration, UncongestedL2RoundTripNearPaper)
+{
+    // A trickle of L2-resident traffic: the L1-miss round trip should
+    // sit near the paper's ~120-cycle uncongested L2 access latency.
+    BenchmarkProfile p = makeTestProfile("tiny-l2");
+    p.memFraction = 0.02; // too sparse to congest anything
+    p.instsPerWarp = 400;
+    Gpu gpu(quickConfig(), p);
+    SimResult r = gpu.run();
+    EXPECT_GT(r.l2Ahl, 90.0);
+    EXPECT_LT(r.l2Ahl, 165.0);
+}
+
+TEST(GpuIntegration, UncongestedDramAddsAboutHundredCycles)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-stream");
+    p.memFraction = 0.02;
+    p.instsPerWarp = 400;
+    Gpu gpu(quickConfig(), p);
+    SimResult r = gpu.run();
+    // ~120 to L2 plus ~100 more to DRAM (§II-A).
+    EXPECT_GT(r.aml, 180.0);
+    EXPECT_LT(r.aml, 290.0);
+}
+
+TEST(GpuIntegration, FixedLatencyModeHonoursLatency)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-mixed");
+    SimResult r = Gpu(quickConfig(GpuConfig::fixedL1Lat(321)), p).run();
+    EXPECT_NEAR(r.aml, 321.0, 5.0);
+}
+
+/** Fig. 3 property: IPC is non-increasing in the fixed miss latency. */
+class FixedLatencyMonotone : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FixedLatencyMonotone, PerfDropsWithLatency)
+{
+    BenchmarkProfile p = makeTestProfile(GetParam());
+    double prev = 1e30;
+    for (std::uint32_t lat : {0u, 200u, 600u}) {
+        SimResult r = Gpu(quickConfig(GpuConfig::fixedL1Lat(lat)), p).run();
+        EXPECT_LE(r.perf, prev * 1.05)
+            << GetParam() << " at latency " << lat;
+        prev = r.perf;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, FixedLatencyMonotone,
+                         ::testing::Values("tiny-mixed", "tiny-stream",
+                                           "tiny-l2"));
+
+TEST(GpuIntegration, OccupancyHistogramsNormalized)
+{
+    Gpu gpu(quickConfig(), makeTestProfile("tiny-stream"));
+    SimResult r = gpu.run();
+    double l2 = 0, dram = 0;
+    for (unsigned b = 0; b < stats::numOccBands; ++b) {
+        l2 += r.l2AccessQueueOcc[b];
+        dram += r.dramQueueOcc[b];
+    }
+    // Either unused (all zero) or normalized to 1.
+    EXPECT_TRUE(l2 == 0.0 || std::abs(l2 - 1.0) < 1e-9);
+    EXPECT_TRUE(dram == 0.0 || std::abs(dram - 1.0) < 1e-9);
+}
+
+TEST(GpuIntegration, StallDistributionsNormalized)
+{
+    Gpu gpu(quickConfig(), makeTestProfile("tiny-mixed"));
+    SimResult r = gpu.run();
+    double sum = 0;
+    for (unsigned i = 0; i < numIssueStallCauses; ++i)
+        sum += r.issueStallDist[i];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    if (r.l1StallCycles > 0) {
+        double l1 = 0;
+        for (unsigned i = 0; i < numCacheStallCauses; ++i)
+            l1 += r.l1StallDist[i];
+        EXPECT_NEAR(l1, 1.0, 1e-9);
+    }
+}
+
+/** Request conservation must hold across the whole design space. */
+class ConfigConservation : public ::testing::TestWithParam<int>
+{
+  public:
+    static GpuConfig
+    configFor(int idx)
+    {
+        switch (idx) {
+          case 0:
+            return GpuConfig::baseline();
+          case 1:
+            return GpuConfig::scaledL1();
+          case 2:
+            return GpuConfig::scaledL2();
+          case 3:
+            return GpuConfig::scaledDram();
+          case 4:
+            return GpuConfig::scaledAll();
+          case 5:
+            return GpuConfig::costEffective16_48();
+          case 6:
+            return GpuConfig::costEffective16_68();
+          case 7:
+            return GpuConfig::costEffective32_52();
+          case 8:
+            return GpuConfig::perfectMem();
+          case 9:
+            return GpuConfig::idealDram();
+          default:
+            return GpuConfig::fixedL1Lat(100 * idx);
+        }
+    }
+};
+
+TEST_P(ConfigConservation, EveryPacketReturnsOrRetires)
+{
+    Gpu gpu(quickConfig(configFor(GetParam())),
+            makeTestProfile("tiny-mixed"));
+    SimResult r = gpu.run();
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(gpu.allocator().outstanding(), 0u)
+        << "packets lost in config " << GetParam();
+    EXPECT_EQ(r.warpInstsIssued, 16u * 4 * 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, ConfigConservation,
+                         ::testing::Range(0, 12));
+
+TEST(GpuIntegration, FrequencySweepChangesElapsedTime)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-compute");
+    p.instsPerWarp = 600; // amortize warmup, keep it compute-bound
+    GpuConfig slow = quickConfig();
+    slow.coreClockMhz = 700.0;
+    GpuConfig fast = quickConfig();
+    fast.coreClockMhz = 1400.0;
+    SimResult rs = Gpu(slow, p).run();
+    SimResult rf = Gpu(fast, p).run();
+    // Compute-bound work scales (imperfectly: the memory system and
+    // warmup do not speed up) with core frequency.
+    double sp = rf.speedupOver(rs);
+    EXPECT_GT(sp, 1.4);
+    EXPECT_LT(sp, 2.05);
+}
+
+TEST(GpuIntegration, RunCyclesAdvances)
+{
+    Gpu gpu(quickConfig(), makeTestProfile("tiny-compute"));
+    gpu.runCycles(100);
+    EXPECT_GE(gpu.coreCycles(), 100u);
+    EXPECT_LT(gpu.coreCycles(), 200u);
+}

@@ -1,0 +1,131 @@
+/** @file Unit tests for src/mem: packets, allocator, address map. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/addr_map.hh"
+#include "mem/mem_fetch.hh"
+
+using namespace bwsim;
+
+TEST(MemFetch, ReadSizes)
+{
+    MemFetch mf;
+    mf.type = AccessType::GlobalRead;
+    mf.lineBytes = 128;
+    EXPECT_FALSE(mf.isWrite());
+    EXPECT_TRUE(mf.needsReply());
+    EXPECT_EQ(mf.requestBytes(), packetHeaderBytes);
+    EXPECT_EQ(mf.replyBytes(), packetHeaderBytes + 128);
+}
+
+TEST(MemFetch, WriteSizes)
+{
+    MemFetch mf;
+    mf.type = AccessType::GlobalWrite;
+    mf.storeBytes = 32;
+    EXPECT_TRUE(mf.isWrite());
+    EXPECT_FALSE(mf.needsReply());
+    EXPECT_EQ(mf.requestBytes(), packetHeaderBytes + 32);
+    EXPECT_EQ(mf.replyBytes(), 0u);
+}
+
+TEST(MemFetch, WritebackIsWrite)
+{
+    MemFetch mf;
+    mf.type = AccessType::L2Writeback;
+    mf.storeBytes = 128;
+    EXPECT_TRUE(mf.isWrite());
+    EXPECT_FALSE(mf.needsReply());
+}
+
+TEST(MemFetch, InstFetchIsReadLike)
+{
+    MemFetch mf;
+    mf.type = AccessType::InstFetch;
+    EXPECT_TRUE(mf.isInstFetch());
+    EXPECT_FALSE(mf.isWrite());
+    EXPECT_TRUE(mf.needsReply());
+}
+
+TEST(MemFetchAllocator, ConservationAccounting)
+{
+    MemFetchAllocator alloc;
+    std::vector<MemFetch *> live;
+    for (int i = 0; i < 100; ++i)
+        live.push_back(alloc.alloc());
+    EXPECT_EQ(alloc.allocated(), 100u);
+    EXPECT_EQ(alloc.outstanding(), 100u);
+    for (auto *mf : live)
+        alloc.free(mf);
+    EXPECT_EQ(alloc.outstanding(), 0u);
+}
+
+TEST(MemFetchAllocator, FreeListReuseResetsState)
+{
+    MemFetchAllocator alloc;
+    MemFetch *a = alloc.alloc();
+    a->lineAddr = 0xdead;
+    a->coreId = 7;
+    std::uint64_t first_id = a->id;
+    alloc.free(a);
+    MemFetch *b = alloc.alloc();
+    EXPECT_EQ(b, a); // recycled storage...
+    EXPECT_NE(b->id, first_id); // ...fresh identity
+    EXPECT_EQ(b->lineAddr, 0u);
+    EXPECT_EQ(b->coreId, -1);
+}
+
+TEST(MemFetchAllocator, IdsUnique)
+{
+    MemFetchAllocator alloc;
+    MemFetch *a = alloc.alloc();
+    MemFetch *b = alloc.alloc();
+    EXPECT_NE(a->id, b->id);
+}
+
+TEST(AddressMap, PartitionAndBankRanges)
+{
+    AddressMap m(6, 2, 128);
+    EXPECT_EQ(m.totalBanks(), 12u);
+    for (Addr a = 0; a < 128 * 1024; a += 128) {
+        EXPECT_LT(m.partitionOf(a), 6u);
+        EXPECT_LT(m.bankOf(a), 12u);
+        // The bank must live in the partition the line maps to.
+        EXPECT_EQ(m.bankOf(a) / 2, m.partitionOf(a));
+    }
+}
+
+TEST(AddressMap, ConsecutiveLinesInterleavePartitions)
+{
+    AddressMap m(6, 2, 128);
+    EXPECT_EQ(m.partitionOf(0), 0u);
+    EXPECT_EQ(m.partitionOf(128), 1u);
+    EXPECT_EQ(m.partitionOf(128 * 5), 5u);
+    EXPECT_EQ(m.partitionOf(128 * 6), 0u);
+}
+
+/** Dense streams must spread near-uniformly over banks. */
+class AddressMapUniformity
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(AddressMapUniformity, DenseStreamBalance)
+{
+    auto [parts, banks_per] = GetParam();
+    AddressMap m(parts, banks_per, 128);
+    std::vector<unsigned> count(m.totalBanks(), 0);
+    const unsigned n = 12000;
+    for (unsigned i = 0; i < n; ++i)
+        ++count[m.bankOf(Addr(i) * 128)];
+    double expect = double(n) / m.totalBanks();
+    for (unsigned b = 0; b < m.totalBanks(); ++b)
+        EXPECT_NEAR(count[b], expect, expect * 0.02) << "bank " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AddressMapUniformity,
+    ::testing::Values(std::make_pair(6u, 2u), std::make_pair(6u, 8u),
+                      std::make_pair(4u, 2u), std::make_pair(8u, 1u)));

@@ -1,0 +1,97 @@
+/** @file Unit tests for the MSHR table. */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+#include "mem/mem_fetch.hh"
+
+using namespace bwsim;
+
+TEST(Mshr, AllocateAndFill)
+{
+    MshrTable m(4, 8);
+    EXPECT_FALSE(m.hasEntry(0x100));
+    m.allocate(0x100);
+    EXPECT_TRUE(m.hasEntry(0x100));
+    m.addWaiter(0x100, MshrWaiter{3, 7, nullptr, false});
+    EXPECT_EQ(m.waiterCount(0x100), 1u);
+
+    std::vector<MshrWaiter> out;
+    m.fill(0x100, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].warpId, 3);
+    EXPECT_EQ(out[0].slotId, 7);
+    EXPECT_FALSE(m.hasEntry(0x100));
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Mshr, MergeOrderPreserved)
+{
+    MshrTable m(4, 8);
+    m.allocate(0x100);
+    for (int i = 0; i < 5; ++i)
+        m.addWaiter(0x100, MshrWaiter{i, i, nullptr, false});
+    std::vector<MshrWaiter> out;
+    m.fill(0x100, out);
+    ASSERT_EQ(out.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(out[i].warpId, i);
+}
+
+TEST(Mshr, MergeLimit)
+{
+    MshrTable m(4, 2);
+    m.allocate(0x100);
+    m.addWaiter(0x100, MshrWaiter{});
+    EXPECT_TRUE(m.canMerge(0x100));
+    m.addWaiter(0x100, MshrWaiter{});
+    EXPECT_FALSE(m.canMerge(0x100));
+}
+
+TEST(Mshr, CapacityLimit)
+{
+    MshrTable m(2, 8);
+    m.allocate(0x100);
+    m.allocate(0x200);
+    EXPECT_TRUE(m.full());
+    EXPECT_TRUE(m.wouldAllocate(0x300));
+    EXPECT_FALSE(m.canMerge(0x300));
+    // Existing entries still merge when the table is full.
+    EXPECT_TRUE(m.canMerge(0x100));
+}
+
+TEST(Mshr, DirtyOnFill)
+{
+    MshrTable m(4, 8);
+    m.allocate(0x100);
+    EXPECT_FALSE(m.isDirtyOnFill(0x100));
+    m.markDirtyOnFill(0x100);
+    EXPECT_TRUE(m.isDirtyOnFill(0x100));
+    // Another entry is unaffected.
+    m.allocate(0x200);
+    EXPECT_FALSE(m.isDirtyOnFill(0x200));
+}
+
+TEST(Mshr, TotalWaiters)
+{
+    MshrTable m(4, 8);
+    m.allocate(0x100);
+    m.allocate(0x200);
+    m.addWaiter(0x100, MshrWaiter{});
+    m.addWaiter(0x200, MshrWaiter{});
+    m.addWaiter(0x200, MshrWaiter{});
+    EXPECT_EQ(m.totalWaiters(), 3u);
+}
+
+TEST(Mshr, IndependentLines)
+{
+    MshrTable m(8, 4);
+    for (Addr a = 0; a < 8 * 128; a += 128)
+        m.allocate(a);
+    EXPECT_EQ(m.size(), 8u);
+    std::vector<MshrWaiter> out;
+    m.fill(3 * 128, out);
+    EXPECT_EQ(m.size(), 7u);
+    EXPECT_FALSE(m.hasEntry(3 * 128));
+    EXPECT_TRUE(m.hasEntry(4 * 128));
+}

@@ -1,0 +1,363 @@
+/** @file Unit tests for the SIMT core: issue, hazards, LSU, stalls. */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "smcore/sm_core.hh"
+
+using namespace bwsim;
+
+namespace
+{
+
+/** A cursor replaying a scripted instruction vector. */
+class ScriptedCursor final : public TraceCursor
+{
+  public:
+    explicit ScriptedCursor(std::vector<WarpInstData> insts)
+        : script(std::move(insts))
+    {
+        for (std::size_t i = 0; i < script.size(); ++i)
+            script[i].pc = 0x1000 + i * 8;
+    }
+
+    bool
+    next(WarpInstData &out) override
+    {
+        if (done())
+            return false;
+        out = script[idx++];
+        return true;
+    }
+
+    Addr nextPc() const override { return 0x1000 + idx * 8; }
+    bool done() const override { return idx >= script.size(); }
+
+  private:
+    std::vector<WarpInstData> script;
+    std::size_t idx = 0;
+};
+
+/** Hands out one CTA per take, each warp running the same script. */
+class ScriptSource final : public WorkSource
+{
+  public:
+    ScriptSource(std::vector<WarpInstData> insts, int ctas, int warps)
+        : script(std::move(insts)), ctasLeft(ctas), warpsPerCta(warps)
+    {
+    }
+
+    bool hasWork() const override { return ctasLeft > 0; }
+
+    CtaWork
+    takeCta(int) override
+    {
+        --ctasLeft;
+        CtaWork w;
+        w.numWarps = warpsPerCta;
+        auto s = script;
+        w.makeCursor = [s](int) {
+            return std::make_unique<ScriptedCursor>(s);
+        };
+        return w;
+    }
+
+  private:
+    std::vector<WarpInstData> script;
+    int ctasLeft;
+    int warpsPerCta;
+};
+
+WarpInstData
+alu(int dest, int src = -1, std::uint32_t lat = 4)
+{
+    WarpInstData i;
+    i.op = Op::Alu;
+    i.dest = dest;
+    i.src = src;
+    i.latency = lat;
+    return i;
+}
+
+WarpInstData
+load(int dest, Addr line_addr, int src = -1)
+{
+    WarpInstData i;
+    i.op = Op::Load;
+    i.dest = dest;
+    i.src = src;
+    i.lineAddrs = {line_addr};
+    return i;
+}
+
+CoreParams
+testCore()
+{
+    CoreParams p;
+    p.coreId = 0;
+    p.maxWarps = 8;
+    p.numSchedulers = 2;
+    p.maxCtasResident = 2;
+    p.memPipelineWidth = 4;
+    CacheParams l1;
+    l1.sizeBytes = 16 * 1024;
+    l1.mshrEntries = 4;
+    l1.missQueueEntries = 4;
+    p.l1d = l1;
+    CacheParams l1i;
+    l1i.sizeBytes = 4 * 1024;
+    l1i.mshrEntries = 4;
+    l1i.missQueueEntries = 4;
+    p.l1i = l1i;
+    return p;
+}
+
+/** Serve the core's memory traffic after a fixed delay. */
+struct MemServer
+{
+    std::deque<std::pair<MemFetch *, int>> pending;
+    MemFetchAllocator *alloc;
+    int latency;
+
+    void
+    tick(SmCore &core)
+    {
+        while (core.hasOutgoing()) {
+            MemFetch *mf = core.peekOutgoing();
+            core.popOutgoing();
+            if (mf->isWrite())
+                alloc->free(mf);
+            else
+                pending.push_back({mf, latency});
+        }
+        for (auto &e : pending)
+            --e.second;
+        while (!pending.empty() && pending.front().second <= 0) {
+            core.deliverResponse(pending.front().first, 0.0);
+            pending.pop_front();
+        }
+    }
+};
+
+int
+runUntilDone(SmCore &core, MemServer &server, int max_cycles = 50000)
+{
+    int cycles = 0;
+    while (!core.done() && cycles < max_cycles) {
+        core.tick(0.0);
+        server.tick(core);
+        ++cycles;
+    }
+    return cycles;
+}
+
+} // namespace
+
+TEST(SmCore, RunsAluProgramToCompletion)
+{
+    std::vector<WarpInstData> prog;
+    for (int i = 0; i < 50; ++i)
+        prog.push_back(alu(2 + i % 8, i >= 2 ? 2 + (i - 2) % 8 : -1));
+    ScriptSource src(prog, 4, 4);
+    MemFetchAllocator alloc;
+    SmCore core(testCore(), &alloc);
+    core.setWorkSource(&src);
+    MemServer server{{}, &alloc, 40};
+    int cycles = runUntilDone(core, server);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.counters().issuedInsts, 50u * 4 * 4);
+    EXPECT_EQ(core.counters().warpsCompleted, 16u);
+    EXPECT_EQ(core.counters().ctasCompleted, 4u);
+    EXPECT_LT(cycles, 10000);
+    EXPECT_EQ(alloc.outstanding(), 0u);
+}
+
+TEST(SmCore, LoadLatencyStallsDependents)
+{
+    // load r2 ; alu r3 <- r2 : the ALU op must wait for the load.
+    std::vector<WarpInstData> prog{load(2, 0x10000), alu(3, 2)};
+    ScriptSource src(prog, 1, 1);
+    MemFetchAllocator alloc;
+    SmCore core(testCore(), &alloc);
+    core.setWorkSource(&src);
+    MemServer server{{}, &alloc, 200};
+    int cycles = runUntilDone(core, server);
+    EXPECT_TRUE(core.done());
+    EXPECT_GT(cycles, 200); // bounded below by the memory latency
+    // The wait shows up as data-MEM stalls.
+    EXPECT_GT(core.counters()
+                  .issueStalls[unsigned(IssueStall::DataMem)],
+              100u);
+}
+
+TEST(SmCore, IndependentWarpsHideLatency)
+{
+    std::vector<WarpInstData> prog;
+    for (int i = 0; i < 8; ++i) {
+        prog.push_back(load(2 + i % 4, Addr(0x10000 + i * 0x1000)));
+        prog.push_back(alu(10 + i % 4, 2 + i % 4));
+    }
+    MemFetchAllocator alloc;
+
+    // 1 warp vs 8 warps running the same program.
+    ScriptSource one(prog, 1, 1);
+    SmCore core1(testCore(), &alloc);
+    core1.setWorkSource(&one);
+    MemServer s1{{}, &alloc, 150};
+    int c1 = runUntilDone(core1, s1);
+
+    ScriptSource eight(prog, 2, 4);
+    SmCore core8(testCore(), &alloc);
+    core8.setWorkSource(&eight);
+    MemServer s8{{}, &alloc, 150};
+    int c8 = runUntilDone(core8, s8);
+
+    // 8x the work in much less than 8x the time: TLP hides latency.
+    EXPECT_LT(c8, c1 * 4);
+}
+
+TEST(SmCore, TailRequestSemantics)
+{
+    // One load with 4 coalesced accesses completes only when the last
+    // access returns.
+    WarpInstData ld;
+    ld.op = Op::Load;
+    ld.dest = 2;
+    ld.lineAddrs = {0x10000, 0x20000, 0x30000, 0x40000};
+    std::vector<WarpInstData> prog{ld, alu(3, 2)};
+    ScriptSource src(prog, 1, 1);
+    MemFetchAllocator alloc;
+    SmCore core(testCore(), &alloc);
+    core.setWorkSource(&src);
+    MemServer server{{}, &alloc, 100};
+    int cycles = runUntilDone(core, server);
+    EXPECT_TRUE(core.done());
+    // 4 accesses at 1/cycle into L1 + 100 latency on the tail.
+    EXPECT_GT(cycles, 103);
+    EXPECT_EQ(core.counters().loadsIssued, 1u);
+    EXPECT_EQ(core.counters().l1Accesses, 4u);
+}
+
+TEST(SmCore, LsuFullGivesStrMem)
+{
+    // Back-to-back divergent loads with a slow memory: the LSU
+    // (4 slots) and L1 MSHRs (4) clog -> str-MEM stalls dominate.
+    std::vector<WarpInstData> prog;
+    for (int i = 0; i < 6; ++i) {
+        WarpInstData ld;
+        ld.op = Op::Load;
+        ld.dest = 2 + i % 6;
+        ld.lineAddrs.clear();
+        for (int k = 0; k < 4; ++k)
+            ld.lineAddrs.push_back(Addr(0x100000) * (1 + i) +
+                                   Addr(k) * 4224);
+        prog.push_back(ld);
+    }
+    ScriptSource src(prog, 2, 4);
+    MemFetchAllocator alloc;
+    SmCore core(testCore(), &alloc);
+    core.setWorkSource(&src);
+    MemServer server{{}, &alloc, 150};
+    runUntilDone(core, server, 200000);
+    EXPECT_TRUE(core.done());
+    EXPECT_GT(core.counters()
+                  .issueStalls[unsigned(IssueStall::StrMem)],
+              core.counters()
+                  .issueStalls[unsigned(IssueStall::StrAlu)]);
+    EXPECT_GT(core.counters()
+                  .issueStalls[unsigned(IssueStall::StrMem)],
+              0u);
+}
+
+TEST(SmCore, StoresFireAndForget)
+{
+    // A store completes at L1 acceptance; a load waits for the reply.
+    // The same program with the store replaced by a load must run
+    // substantially longer under a slow memory.
+    WarpInstData st;
+    st.op = Op::Store;
+    st.dest = -1;
+    st.lineAddrs = {0x50000};
+    st.storeBytes = 32;
+    MemFetchAllocator alloc;
+
+    ScriptSource st_src({st, alu(2)}, 1, 1);
+    SmCore st_core(testCore(), &alloc);
+    st_core.setWorkSource(&st_src);
+    MemServer st_server{{}, &alloc, 500};
+    int st_cycles = runUntilDone(st_core, st_server, 5000);
+    EXPECT_TRUE(st_core.done());
+    EXPECT_EQ(st_core.counters().storesIssued, 1u);
+
+    ScriptSource ld_src({load(2, 0x50000), alu(3, 2)}, 1, 1);
+    SmCore ld_core(testCore(), &alloc);
+    ld_core.setWorkSource(&ld_src);
+    MemServer ld_server{{}, &alloc, 500};
+    int ld_cycles = runUntilDone(ld_core, ld_server, 5000);
+    EXPECT_TRUE(ld_core.done());
+
+    EXPECT_LT(st_cycles + 400, ld_cycles);
+}
+
+TEST(SmCore, GtoPrefersGreedyWarp)
+{
+    // With GTO, one warp should race ahead: the spread between the
+    // first and last warp completion is large. We proxy-check via
+    // issue behaviour: total cycles with LRR >= GTO for a latency-
+    // bound workload is not guaranteed, so just check GTO works and
+    // both policies complete.
+    std::vector<WarpInstData> prog;
+    for (int i = 0; i < 30; ++i)
+        prog.push_back(alu(2 + i % 8, i >= 3 ? 2 + (i - 3) % 8 : -1));
+    MemFetchAllocator alloc;
+    for (SchedPolicy pol : {SchedPolicy::Gto, SchedPolicy::Lrr}) {
+        CoreParams p = testCore();
+        p.sched = pol;
+        ScriptSource src(prog, 2, 4);
+        SmCore core(p, &alloc);
+        core.setWorkSource(&src);
+        MemServer server{{}, &alloc, 50};
+        runUntilDone(core, server);
+        EXPECT_TRUE(core.done());
+        EXPECT_EQ(core.counters().issuedInsts, 30u * 2 * 4);
+    }
+}
+
+TEST(SmCore, FetchHazardWhenICacheMisses)
+{
+    // A program footprint larger than the I-cache with slow memory
+    // produces fetch stalls.
+    std::vector<WarpInstData> prog;
+    for (int i = 0; i < 200; ++i)
+        prog.push_back(alu(2 + i % 8));
+    CoreParams p = testCore();
+    p.l1i.sizeBytes = 512; // one set of four lines
+    ScriptSource src(prog, 1, 2);
+    MemFetchAllocator alloc;
+    SmCore core(p, &alloc);
+    core.setWorkSource(&src);
+    MemServer server{{}, &alloc, 100};
+    runUntilDone(core, server);
+    EXPECT_TRUE(core.done());
+    EXPECT_GT(core.counters().issueStalls[unsigned(IssueStall::Fetch)],
+              0u);
+    EXPECT_GT(core.l1i().counters().readMisses, 5u);
+}
+
+TEST(SmCore, DoneRequiresDrainedPipes)
+{
+    std::vector<WarpInstData> prog{load(2, 0x10000)};
+    ScriptSource src(prog, 1, 1);
+    MemFetchAllocator alloc;
+    SmCore core(testCore(), &alloc);
+    core.setWorkSource(&src);
+    // Never serve memory: the core must not report done.
+    for (int i = 0; i < 500; ++i)
+        core.tick(0.0);
+    EXPECT_FALSE(core.done());
+    // Drain and serve.
+    MemServer server{{}, &alloc, 1};
+    runUntilDone(core, server);
+    EXPECT_TRUE(core.done());
+}

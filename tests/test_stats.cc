@@ -1,0 +1,152 @@
+/** @file Unit tests for src/stats: stats tree, occupancy hist, tables. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/occupancy_hist.hh"
+#include "stats/stat.hh"
+#include "stats/table.hh"
+
+using namespace bwsim;
+using namespace bwsim::stats;
+
+TEST(Stat, ScalarBasics)
+{
+    Group g("g");
+    Scalar s(&g, "count", "a counter");
+    EXPECT_EQ(s.get(), 0u);
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.get(), 6u);
+    EXPECT_DOUBLE_EQ(s.value(), 6.0);
+    s.reset();
+    EXPECT_EQ(s.get(), 0u);
+}
+
+TEST(Stat, AverageBasics)
+{
+    Group g("g");
+    Average a(&g, "avg", "an average");
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    EXPECT_DOUBLE_EQ(a.value(), 15.0);
+    EXPECT_EQ(a.samples(), 2u);
+}
+
+TEST(Stat, DistributionBuckets)
+{
+    Group g("g");
+    Distribution d(&g, "dist", "a distribution", 0, 100, 10);
+    d.sample(5);   // bucket 0
+    d.sample(95);  // bucket 9
+    d.sample(-50); // clamped to bucket 0
+    d.sample(500); // clamped to bucket 9
+    EXPECT_EQ(d.bucketCount(0), 2u);
+    EXPECT_EQ(d.bucketCount(9), 2u);
+    EXPECT_EQ(d.samples(), 4u);
+}
+
+TEST(Stat, GroupTreeDump)
+{
+    Group root("gpu");
+    Group child("core0", &root);
+    Scalar s1(&root, "cycles", "total cycles");
+    Scalar s2(&child, "insts", "instructions");
+    ++s1;
+    s2 += 3;
+    std::ostringstream os;
+    root.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("gpu.cycles"), std::string::npos);
+    EXPECT_NE(out.find("gpu.core0.insts"), std::string::npos);
+    root.resetAll();
+    EXPECT_EQ(s1.get(), 0u);
+    EXPECT_EQ(s2.get(), 0u);
+}
+
+TEST(OccupancyHist, BandClassification)
+{
+    EXPECT_EQ(OccupancyHist::classify(1, 8), OccBand::UnderQuarter);
+    EXPECT_EQ(OccupancyHist::classify(2, 8), OccBand::UnderHalf);
+    EXPECT_EQ(OccupancyHist::classify(4, 8), OccBand::UnderThreeQ);
+    EXPECT_EQ(OccupancyHist::classify(6, 8), OccBand::UnderFull);
+    EXPECT_EQ(OccupancyHist::classify(7, 8), OccBand::UnderFull);
+    EXPECT_EQ(OccupancyHist::classify(8, 8), OccBand::Full);
+}
+
+TEST(OccupancyHist, EmptyCyclesIgnored)
+{
+    OccupancyHist h;
+    h.sample(0, 8);
+    EXPECT_EQ(h.usageLifetime(), 0u);
+    h.sample(8, 8);
+    EXPECT_EQ(h.usageLifetime(), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(OccBand::Full), 1.0);
+}
+
+TEST(OccupancyHist, FractionsNormalized)
+{
+    OccupancyHist h;
+    for (std::size_t occ = 1; occ <= 16; ++occ)
+        h.sample(occ, 16);
+    double total = 0;
+    for (unsigned b = 0; b < numOccBands; ++b)
+        total += h.fraction(static_cast<OccBand>(b));
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(OccupancyHist, Merge)
+{
+    OccupancyHist a, b;
+    a.sample(8, 8);
+    b.sample(1, 8);
+    b.sample(1, 8);
+    a.merge(b);
+    EXPECT_EQ(a.usageLifetime(), 3u);
+    EXPECT_NEAR(a.fraction(OccBand::Full), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(a.fraction(OccBand::UnderQuarter), 2.0 / 3.0, 1e-12);
+}
+
+TEST(OccupancyHist, Labels)
+{
+    EXPECT_STREQ(occBandLabel(OccBand::UnderQuarter), "(0-25%)");
+    EXPECT_STREQ(occBandLabel(OccBand::Full), "100%");
+}
+
+TEST(TextTable, CellsAndRender)
+{
+    TextTable t({"name", "value"});
+    t.newRow().add("alpha").addNum(1.5, 2);
+    t.newRow().add("b").addInt(42);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.cell(0, 0), "alpha");
+    EXPECT_EQ(t.cell(0, 1), "1.50");
+    EXPECT_EQ(t.cell(1, 1), "42");
+
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+}
+
+TEST(TextTable, Percentage)
+{
+    TextTable t({"x"});
+    t.newRow().addPct(0.625, 1);
+    EXPECT_EQ(t.cell(0, 0), "62.5%");
+}
+
+TEST(TextTable, CsvQuoting)
+{
+    TextTable t({"a", "b"});
+    t.newRow().add("plain").add("with,comma");
+    t.newRow().add("with\"quote").add("x");
+    std::ostringstream os;
+    t.printCsv(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}

@@ -1,0 +1,210 @@
+/** @file Unit tests for the synthetic workload generators. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/profile.hh"
+#include "workloads/trace_gen.hh"
+
+using namespace bwsim;
+
+TEST(Suite, NineteenBenchmarksInPaperOrder)
+{
+    const auto &suite = benchmarkSuite();
+    ASSERT_EQ(suite.size(), 19u);
+    EXPECT_EQ(suite[0].name, "mm");
+    EXPECT_EQ(suite[1].name, "lbm");
+    EXPECT_EQ(suite[18].name, "leukocyte");
+    std::set<std::string> names;
+    for (const auto &p : suite) {
+        names.insert(p.name);
+        EXPECT_GT(p.paperPinf, 0.99) << p.name;
+        EXPECT_GT(p.paperPdram, 0.99) << p.name;
+        EXPECT_GE(p.paperPinf, p.paperPdram) << p.name;
+        EXPECT_LE(p.pHot + p.pTile + p.pShared + p.pRandom, 1.0)
+            << p.name;
+    }
+    EXPECT_EQ(names.size(), 19u);
+}
+
+TEST(Suite, PaperAveragesEncoded)
+{
+    // Table II averages: P-inf 2.37, P-DRAM 1.15.
+    double pinf = 0, pdram = 0;
+    for (const auto &p : benchmarkSuite()) {
+        pinf += p.paperPinf;
+        pdram += p.paperPdram;
+    }
+    EXPECT_NEAR(pinf / 19.0, 2.37, 0.02);
+    EXPECT_NEAR(pdram / 19.0, 1.15, 0.02);
+}
+
+TEST(Suite, FindBenchmark)
+{
+    EXPECT_NE(findBenchmark("mm"), nullptr);
+    EXPECT_NE(findBenchmark("bfs'"), nullptr);
+    EXPECT_EQ(findBenchmark("nope"), nullptr);
+}
+
+TEST(Cursor, Deterministic)
+{
+    const BenchmarkProfile *p = findBenchmark("mm");
+    ASSERT_NE(p, nullptr);
+    SyntheticCursor a(*p, 3, 7, 2, 128);
+    SyntheticCursor b(*p, 3, 7, 2, 128);
+    WarpInstData ia, ib;
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_EQ(a.next(ia), b.next(ib));
+        EXPECT_EQ(ia.op, ib.op);
+        EXPECT_EQ(ia.dest, ib.dest);
+        EXPECT_EQ(ia.lineAddrs, ib.lineAddrs);
+    }
+}
+
+TEST(Cursor, DistinctWarpsDiffer)
+{
+    const BenchmarkProfile *p = findBenchmark("mm");
+    SyntheticCursor a(*p, 0, 0, 0, 128);
+    SyntheticCursor b(*p, 0, 0, 1, 128);
+    WarpInstData ia, ib;
+    int diffs = 0;
+    for (int i = 0; i < 100; ++i) {
+        a.next(ia);
+        b.next(ib);
+        if (ia.op != ib.op || ia.lineAddrs != ib.lineAddrs)
+            ++diffs;
+    }
+    EXPECT_GT(diffs, 10);
+}
+
+TEST(Cursor, TerminatesAtProgramLength)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-mixed");
+    SyntheticCursor c(p, 0, 0, 0, 128);
+    WarpInstData inst;
+    int n = 0;
+    while (c.next(inst))
+        ++n;
+    EXPECT_EQ(n, p.instsPerWarp);
+    EXPECT_TRUE(c.done());
+    EXPECT_FALSE(c.next(inst));
+}
+
+TEST(Cursor, PcLoopsWithinFootprint)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-compute");
+    p.loopInsts = 16;
+    SyntheticCursor c(p, 0, 0, 0, 128);
+    WarpInstData inst;
+    Addr min_pc = ~Addr(0), max_pc = 0;
+    while (c.next(inst)) {
+        min_pc = std::min(min_pc, inst.pc);
+        max_pc = std::max(max_pc, inst.pc);
+    }
+    EXPECT_EQ(min_pc, wl_layout::codeBase);
+    EXPECT_LT(max_pc, wl_layout::codeBase + 16 * wl_layout::instBytes);
+}
+
+TEST(Cursor, AddressesLineAligned)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-mixed");
+    SyntheticCursor c(p, 2, 5, 1, 128);
+    WarpInstData inst;
+    while (c.next(inst))
+        for (Addr a : inst.lineAddrs)
+            EXPECT_EQ(a % 128, 0u);
+}
+
+TEST(Cursor, MemMixMatchesProbability)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-mixed");
+    p.instsPerWarp = 20000;
+    SyntheticCursor c(p, 0, 0, 0, 128);
+    WarpInstData inst;
+    int mem = 0, total = 0;
+    while (c.next(inst)) {
+        ++total;
+        if (inst.isMem())
+            ++mem;
+    }
+    EXPECT_NEAR(double(mem) / total, p.memFraction, 0.02);
+}
+
+TEST(Cursor, StreamIsWarpInterleavedConsecutive)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-stream");
+    p.storeFraction = 0.0;
+    p.minAccessesPerInst = p.maxAccessesPerInst = 1;
+    // Two warps of the same CTA must own interleaved consecutive lines.
+    SyntheticCursor w0(p, 0, 0, 0, 128);
+    SyntheticCursor w1(p, 0, 0, 1, 128);
+    WarpInstData i0, i1;
+    Addr first0 = 0, first1 = 0;
+    while (w0.next(i0))
+        if (!i0.lineAddrs.empty()) {
+            first0 = i0.lineAddrs[0];
+            break;
+        }
+    while (w1.next(i1))
+        if (!i1.lineAddrs.empty()) {
+            first1 = i1.lineAddrs[0];
+            break;
+        }
+    EXPECT_EQ(first1, first0 + 128);
+}
+
+TEST(Cursor, RegionsStayInBounds)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-mixed");
+    p.instsPerWarp = 5000;
+    SyntheticCursor c(p, 4, 9, 3, 128);
+    WarpInstData inst;
+    using namespace wl_layout;
+    while (c.next(inst)) {
+        for (Addr a : inst.lineAddrs) {
+            bool in_hot = a >= hotBase + 4 * hotStride &&
+                          a < hotBase + 5 * hotStride;
+            bool in_tile = a >= tileBase + 4 * tileStride &&
+                           a < tileBase + 5 * tileStride;
+            bool in_shared =
+                a >= sharedBase && a < sharedBase + p.sharedBytes;
+            bool in_random =
+                a >= randomBase && a < randomBase + p.randomBytes;
+            bool in_stream = a >= streamBase;
+            EXPECT_TRUE(in_hot || in_tile || in_shared || in_random ||
+                        in_stream)
+                << std::hex << a;
+        }
+    }
+}
+
+/** Every suite profile must generate a full trace without issues. */
+class SuiteCursors : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SuiteCursors, GeneratesCleanTrace)
+{
+    const BenchmarkProfile &p = benchmarkSuite()[GetParam()];
+    SyntheticCursor c(p, 1, 2, 3, 128);
+    WarpInstData inst;
+    int n = 0;
+    while (c.next(inst)) {
+        ++n;
+        if (inst.isMem()) {
+            EXPECT_GE(int(inst.lineAddrs.size()), p.minAccessesPerInst);
+            EXPECT_LE(int(inst.lineAddrs.size()), p.maxAccessesPerInst);
+            if (inst.op == Op::Store)
+                EXPECT_EQ(inst.dest, -1);
+        } else {
+            EXPECT_TRUE(inst.lineAddrs.empty());
+            EXPECT_GT(inst.latency, 0u);
+        }
+        EXPECT_LT(inst.dest, numModelRegs);
+        EXPECT_LT(inst.src, numModelRegs);
+    }
+    EXPECT_EQ(n, p.instsPerWarp);
+}
+
+INSTANTIATE_TEST_SUITE_P(All19, SuiteCursors, ::testing::Range(0, 19));
