@@ -1,100 +1,14 @@
 /**
  * @file
- * Ablation study: §V's design space, one knob at a time.
- *
- * The paper scales parameter *groups* (Fig. 10); this bench isolates
- * each Table III knob at 4x with everything else at baseline, showing
- * which individual resources matter and how far each falls short of
- * the grouped scaling — quantified support for the paper's claim that
- * the knobs must move together ("synergistically").
- *
- * Benchmarks default to a cache-bound / DRAM-bound / divergent trio
- * (mm, lbm, sc); set BWSIM_BENCHES to widen.
+ * Ablation: each Table III knob alone at 4x.
+ * Thin compatibility wrapper: `bwsim ablation` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "core/dse.hh"
-#include "core/experiments.hh"
-#include "stats/table.hh"
-
-using namespace bwsim;
-using namespace bwsim::exp;
+#include "cli/cli.hh"
 
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    if (opts.benchmarks.empty())
-        opts.benchmarks = {"mm", "lbm", "sc"};
-    auto profiles = selectBenchmarks(opts);
-
-    struct Knob
-    {
-        const char *name;
-        const char *type; // the paper's '=' / '+' classification
-        GpuConfig cfg;
-    };
-    std::vector<Knob> knobs;
-    auto add = [&knobs](const char *name, const char *type, auto mutate) {
-        GpuConfig c = GpuConfig::baseline();
-        c.name = name;
-        mutate(c);
-        knobs.push_back({name, type, c});
-    };
-
-    add("DRAM sched queue 4x", "=",
-        [](GpuConfig &c) { c.dramSchedQueue *= 4; });
-    add("DRAM banks 4x", "=", [](GpuConfig &c) { c.dramBanks *= 4; });
-    add("DRAM bus 4x", "+",
-        [](GpuConfig &c) { c.dramBusBytesPerCycle *= 4; });
-    add("L2 miss queue 4x", "=",
-        [](GpuConfig &c) { c.l2MissQueue *= 4; });
-    add("L2 resp queue 4x", "=",
-        [](GpuConfig &c) { c.l2RespQueue *= 4; });
-    add("L2 MSHR 4x", "=", [](GpuConfig &c) { c.l2MshrEntries *= 4; });
-    add("L2 access queue 4x", "=",
-        [](GpuConfig &c) { c.l2AccessQueue *= 4; });
-    add("L2 port 4x", "+", [](GpuConfig &c) { c.l2PortBytes *= 4; });
-    add("Flits 4x (128+128)", "+", [](GpuConfig &c) {
-        c.reqFlitBytes *= 4;
-        c.replyFlitBytes *= 4;
-    });
-    add("L2 banks 4x", "+",
-        [](GpuConfig &c) { c.l2BanksPerPartition *= 4; });
-    add("L1 miss queue 4x", "=",
-        [](GpuConfig &c) { c.l1dMissQueue *= 4; });
-    add("L1 MSHR 4x", "=", [](GpuConfig &c) { c.l1dMshrEntries *= 4; });
-    add("Mem pipeline 4x", "=",
-        [](GpuConfig &c) { c.memPipelineWidth *= 4; });
-
-    std::vector<RunSpec> specs;
-    for (const auto &p : profiles) {
-        specs.push_back({p, GpuConfig::baseline()});
-        for (const auto &k : knobs)
-            specs.push_back({p, k.cfg});
-    }
-    std::cout << "=== Ablation: each Table III knob alone at 4x ("
-              << specs.size() << " sims) ===\n";
-    auto results = runAll(specs, opts.threads);
-
-    std::vector<std::string> headers{"knob", "type"};
-    for (const auto &p : profiles)
-        headers.push_back(p.name);
-    stats::TextTable t(headers);
-    std::size_t stride = knobs.size() + 1;
-    for (std::size_t k = 0; k < knobs.size(); ++k) {
-        t.newRow().add(knobs[k].name).add(knobs[k].type);
-        for (std::size_t b = 0; b < profiles.size(); ++b) {
-            const SimResult &base = results[b * stride];
-            const SimResult &r = results[b * stride + 1 + k];
-            t.addNum(r.speedupOver(base), 2);
-        }
-    }
-    t.print(std::cout);
-    std::cout << "\nNo single knob recovers the grouped Fig. 10 gains: "
-                 "the bottleneck\nmoves to the next unscaled resource, "
-                 "the paper's synergy argument.\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("ablation");
 }

@@ -1,22 +1,14 @@
 /**
  * @file
- * Fig. 1: issue-stall cycles (% of runtime), average L2 hit latency
- * (L2-AHL) and average memory latency (AML) on the baseline.
- * Paper averages: stall 62%, L2-AHL 303 cycles, AML 452 cycles.
+ * Fig. 1: issue stalls, L2-AHL and AML on the baseline.
+ * Thin compatibility wrapper: `bwsim fig1` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    std::cout << "=== Fig. 1: issue stalls and memory latencies ===\n";
-    auto base = baselineResults(opts);
-    fig1StallsAndLatencies(base).table.print(std::cout);
-    std::cout << "\npaper averages: stall 62%, L2-AHL 303, AML 452\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("fig1");
 }

@@ -1,27 +1,14 @@
 /**
  * @file
- * Fig. 3: IPC (normalized to baseline) vs. fixed L1 miss latency for
- * the paper's eight representative benchmarks. The paper's reading:
- * performance plateaus at small latencies, then falls; the baseline
- * (value 1.0) sits well beyond the plateau for most benchmarks.
+ * Fig. 3: IPC (normalized) vs. fixed L1 miss latency.
+ * Thin compatibility wrapper: `bwsim fig3` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    if (opts.benchmarks.empty())
-        opts.benchmarks = fig3DefaultBenchmarks();
-    std::cout << "=== Fig. 3: IPC vs. fixed L1 miss latency ===\n";
-    auto t = fig3LatencySweep(opts, fig3DefaultLatencies());
-    t.table.print(std::cout);
-    std::cout << "\n(each column: all L1 misses returned after that many "
-                 "core cycles;\n value = speedup over the baseline "
-                 "memory system)\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("fig3");
 }

@@ -1,22 +1,14 @@
 /**
  * @file
- * Fig. 4: occupancy histogram of the L2 access queues over their usage
- * lifetime. Paper: queues are 100% full for 46% of their usage
- * lifetime on average.
+ * Fig. 4: L2 access queue occupancy histogram.
+ * Thin compatibility wrapper: `bwsim fig4` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    std::cout << "=== Fig. 4: L2 access queue occupancy ===\n";
-    auto base = baselineResults(opts);
-    fig4L2QueueOccupancy(base).table.print(std::cout);
-    std::cout << "\npaper: average 100%-full share is 0.46\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("fig4");
 }

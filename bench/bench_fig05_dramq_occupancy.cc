@@ -1,22 +1,14 @@
 /**
  * @file
- * Fig. 5: occupancy histogram of the DRAM scheduler (access) queues
- * over their usage lifetime. Paper: queues are 100% full for 39% of
- * their usage lifetime on average.
+ * Fig. 5: DRAM scheduler queue occupancy histogram.
+ * Thin compatibility wrapper: `bwsim fig5` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    std::cout << "=== Fig. 5: DRAM access queue occupancy ===\n";
-    auto base = baselineResults(opts);
-    fig5DramQueueOccupancy(base).table.print(std::cout);
-    std::cout << "\npaper: average 100%-full share is 0.39\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("fig5");
 }

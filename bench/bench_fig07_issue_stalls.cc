@@ -1,24 +1,14 @@
 /**
  * @file
- * Fig. 7: distribution of issue-stall cycles across data hazards
- * (data-MEM / data-ALU), structural hazards (str-MEM / str-ALU) and
- * fetch hazards. Paper averages: str-MEM 71%, data-MEM 15%, fetch 8%,
- * data-ALU 5.5%, str-ALU 0.5%.
+ * Fig. 7: issue-stall distribution.
+ * Thin compatibility wrapper: `bwsim fig7` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    std::cout << "=== Fig. 7: issue-stall distribution (%) ===\n";
-    auto base = baselineResults(opts);
-    fig7IssueStallDistribution(base).table.print(std::cout);
-    std::cout << "\npaper averages: data-MEM 15, data-ALU 5.5, str-MEM 71,"
-                 " str-ALU 0.5, fetch 8\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("fig7");
 }

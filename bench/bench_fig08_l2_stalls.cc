@@ -1,25 +1,14 @@
 /**
  * @file
- * Fig. 8: distribution of L2 stall cycles across back pressure from
- * the interconnect (bp-ICNT), data-port contention, line-allocation
- * failure (cache), MSHR exhaustion and back pressure from DRAM.
- * Paper averages: bp-ICNT 42%, bp-DRAM 35%, port 12%, cache 8%,
- * mshr 3%.
+ * Fig. 8: L2 stall distribution.
+ * Thin compatibility wrapper: `bwsim fig8` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    std::cout << "=== Fig. 8: L2 stall distribution (%) ===\n";
-    auto base = baselineResults(opts);
-    fig8L2StallDistribution(base).table.print(std::cout);
-    std::cout << "\npaper averages: bp-ICNT 42, port 12, cache 8, mshr 3, "
-                 "bp-DRAM 35\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("fig8");
 }

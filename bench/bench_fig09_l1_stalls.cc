@@ -1,22 +1,14 @@
 /**
  * @file
- * Fig. 9: distribution of L1 stall cycles across line-allocation
- * failure (cache), MSHR exhaustion and back pressure from L2 (bp-L2).
- * Paper averages: bp-L2 48%, mshr 41%, cache 11%.
+ * Fig. 9: L1 stall distribution.
+ * Thin compatibility wrapper: `bwsim fig9` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    std::cout << "=== Fig. 9: L1 stall distribution (%) ===\n";
-    auto base = baselineResults(opts);
-    fig9L1StallDistribution(base).table.print(std::cout);
-    std::cout << "\npaper averages: cache 11, mshr 41, bp-L2 48\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("fig9");
 }

@@ -1,24 +1,14 @@
 /**
  * @file
- * Fig. 10: IPC gain with 4x design-point scaling of bandwidth
- * resources in L1, L2, DRAM and synergistically across levels.
- * Paper averages: L1 +4%, L2 +59%, DRAM +11%, L1+L2 +69%,
- * L2+DRAM +76%, All +90%.
+ * Fig. 10: 4x design-point bandwidth scaling.
+ * Thin compatibility wrapper: `bwsim fig10` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    std::cout << "=== Fig. 10: 4x bandwidth scaling (speedup) ===\n";
-    auto t = fig10DseScaling(opts);
-    t.table.print(std::cout);
-    std::cout << "\npaper averages: L1 1.04, L2 1.59, DRAM 1.11, "
-                 "L1+L2 1.69, L2+DRAM 1.76, All 1.90\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("fig10");
 }

@@ -1,28 +1,14 @@
 /**
  * @file
- * Fig. 11: performance vs. core frequency (1.2-1.6 GHz). The paper ran
- * a real GTX 480; bwsim sweeps the core clock domain of the simulated
- * chip, which exercises the same mechanism (L1 request rate vs. L2
- * service rate). Values are runtime-based speedups over the 1.4 GHz
- * baseline; the paper observes cache-bound benchmarks *losing*
- * performance as frequency rises.
+ * Fig. 11: core-frequency sweep.
+ * Thin compatibility wrapper: `bwsim fig11` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    if (opts.benchmarks.empty())
-        opts.benchmarks = fig11DefaultBenchmarks();
-    std::cout << "=== Fig. 11: core-frequency sweep ===\n";
-    auto t = fig11FrequencySweep(opts, fig11DefaultFrequencies());
-    t.table.print(std::cout);
-    std::cout << "\n(simulated stand-in for the paper's real-GPU "
-                 "experiment; see DESIGN.md)\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("fig11");
 }

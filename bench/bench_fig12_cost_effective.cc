@@ -1,25 +1,14 @@
 /**
  * @file
- * Fig. 12: performance of the cost-effective configurations (16+48,
- * 16+68, 32+52 asymmetric crossbars with Type '=' buffers scaled)
- * against an HBM-class DRAM on the baseline cache hierarchy.
- * Paper averages: 16+48 +23.4%, 16+68 +29%, 32+52 +25.7%, HBM +11%;
- * lavaMD regresses under 16+48.
+ * Fig. 12: cost-effective configurations vs. HBM.
+ * Thin compatibility wrapper: `bwsim fig12` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    std::cout << "=== Fig. 12: cost-effective configurations ===\n";
-    auto t = fig12CostEffective(opts);
-    t.table.print(std::cout);
-    std::cout << "\npaper averages: 16+48 1.234, 16+68 1.29, 32+52 1.257, "
-                 "HBM 1.11\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("fig12");
 }

@@ -1,22 +1,14 @@
 /**
  * @file
- * §IV-B1: DRAM bandwidth efficiency (data-bus busy share of
- * pending-work cycles) on the baseline. Paper: 41% average, 65%
- * maximum (stencil).
+ * Sec. IV-B1: DRAM bandwidth efficiency.
+ * Thin compatibility wrapper: `bwsim sec4` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    std::cout << "=== §IV-B1: DRAM bandwidth efficiency ===\n";
-    auto base = baselineResults(opts);
-    sec4DramEfficiency(base).table.print(std::cout);
-    std::cout << "\npaper: average 41%, max 65% (stencil)\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("sec4");
 }

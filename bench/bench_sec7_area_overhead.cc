@@ -1,38 +1,14 @@
 /**
  * @file
- * §VII overhead: storage and wire area of the cost-effective
- * configurations, using the paper's published constants. Paper:
- * ~94 KB storage -> 7.48 mm^2 (+1.1% die) for 16+48; +3.62 mm^2 of
- * wires for the 84-byte crossbars (16+68, 32+52) -> ~1.6% total.
+ * Sec. VII: area overhead of cost-effective configs.
+ * Thin compatibility wrapper: `bwsim sec7` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/cost_model.hh"
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim;
-    std::cout << "=== §VII: area overhead of cost-effective configs ===\n";
-    auto t = exp::sec7AreaOverhead();
-    t.table.print(std::cout);
-
-    std::cout << "\nStorage breakdown for 16+48:\n";
-    AreaReport rep = AreaModel::delta(GpuConfig::baseline(),
-                                      GpuConfig::costEffective16_48());
-    stats::TextTable bt({"structure", "delta-entries", "instances",
-                         "entry-bytes", "KB"});
-    for (const auto &item : rep.items) {
-        bt.newRow().add(item.structure);
-        bt.addInt(item.entriesDelta);
-        bt.addInt(item.instances);
-        bt.addInt(item.entryBytes);
-        bt.addNum(item.totalKB, 2);
-    }
-    bt.print(std::cout);
-    std::cout << "\npaper: 94 KB storage, 7.48 mm^2, 1.1% die overhead; "
-                 "with +20B wires 1.6%\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("sec7");
 }

@@ -1,17 +1,14 @@
 /**
  * @file
- * Table I: dump the baseline architecture parameters the simulator
- * actually instantiates (validated against the paper in tests).
+ * Table I: baseline architecture parameters.
+ * Thin compatibility wrapper: `bwsim tab1` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    std::cout << "=== Table I: baseline architecture parameters ===\n";
-    bwsim::exp::tab1BaselineConfig().print(std::cout);
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("tab1");
 }

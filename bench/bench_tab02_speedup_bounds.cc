@@ -1,22 +1,14 @@
 /**
  * @file
- * Table II: P-inf (infinite-bandwidth memory system) and P-DRAM
- * (baseline caches + infinite-bandwidth DRAM) speedups over baseline,
- * per benchmark. Paper averages: P-inf 2.37x, P-DRAM 1.15x.
+ * Table II: P-inf / P-DRAM speedup bounds.
+ * Thin compatibility wrapper: `bwsim tab2` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    using namespace bwsim::exp;
-    auto opts = ExperimentOptions::fromEnv();
-    std::cout << "=== Table II: speedup bounds (P-inf / P-DRAM) ===\n";
-    auto t = tab2SpeedupBounds(opts);
-    t.table.print(std::cout);
-    std::cout << "\npaper: P-inf AVG 2.37, P-DRAM AVG 1.15\n";
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("tab2");
 }

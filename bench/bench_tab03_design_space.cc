@@ -1,17 +1,14 @@
 /**
  * @file
- * Table III: the consolidated design space -- baseline, scaled (4x)
- * and cost-effective values of every Type '=' / Type '+' parameter.
+ * Table III: consolidated design space.
+ * Thin compatibility wrapper: `bwsim tab3` is the canonical driver
+ * and prints the identical report.
  */
 
-#include <iostream>
-
-#include "core/experiments.hh"
+#include "cli/cli.hh"
 
 int
 main()
 {
-    std::cout << "=== Table III: consolidated design space ===\n";
-    bwsim::exp::tab3DesignSpace().print(std::cout);
-    return 0;
+    return bwsim::cli::runExperimentFromEnv("tab3");
 }

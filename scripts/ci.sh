@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build, run the full ctest suite.
+# Usage: scripts/ci.sh [quick]  -- "quick" restricts to the fast
+# unit-label subset (sub-2-minute pre-commit loop).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+
+if [ "${1:-}" = "quick" ]; then
+    ctest --test-dir build --output-on-failure -j "$(nproc)" -L quick
+else
+    ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi

@@ -1,0 +1,420 @@
+#include "cli/cli.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/log.hh"
+#include "core/cost_model.hh"
+#include "core/dse.hh"
+#include "core/sim_cache.hh"
+#include "stats/table.hh"
+
+namespace bwsim::cli
+{
+
+namespace
+{
+
+void
+runFig1(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    os << "=== Fig. 1: issue stalls and memory latencies ===\n";
+    auto base = exp::baselineResults(opts);
+    exp::fig1StallsAndLatencies(base).table.print(os);
+    os << "\npaper averages: stall 62%, L2-AHL 303, AML 452\n";
+}
+
+void
+runFig3(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    exp::ExperimentOptions o = opts;
+    if (o.benchmarks.empty())
+        o.benchmarks = exp::fig3DefaultBenchmarks();
+    os << "=== Fig. 3: IPC vs. fixed L1 miss latency ===\n";
+    auto t = exp::fig3LatencySweep(o, exp::fig3DefaultLatencies());
+    t.table.print(os);
+    os << "\n(each column: all L1 misses returned after that many "
+          "core cycles;\n value = speedup over the baseline "
+          "memory system)\n";
+}
+
+void
+runFig4(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    os << "=== Fig. 4: L2 access queue occupancy ===\n";
+    auto base = exp::baselineResults(opts);
+    exp::fig4L2QueueOccupancy(base).table.print(os);
+    os << "\npaper: average 100%-full share is 0.46\n";
+}
+
+void
+runFig5(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    os << "=== Fig. 5: DRAM access queue occupancy ===\n";
+    auto base = exp::baselineResults(opts);
+    exp::fig5DramQueueOccupancy(base).table.print(os);
+    os << "\npaper: average 100%-full share is 0.39\n";
+}
+
+void
+runFig7(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    os << "=== Fig. 7: issue-stall distribution (%) ===\n";
+    auto base = exp::baselineResults(opts);
+    exp::fig7IssueStallDistribution(base).table.print(os);
+    os << "\npaper averages: data-MEM 15, data-ALU 5.5, str-MEM 71,"
+          " str-ALU 0.5, fetch 8\n";
+}
+
+void
+runFig8(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    os << "=== Fig. 8: L2 stall distribution (%) ===\n";
+    auto base = exp::baselineResults(opts);
+    exp::fig8L2StallDistribution(base).table.print(os);
+    os << "\npaper averages: bp-ICNT 42, port 12, cache 8, mshr 3, "
+          "bp-DRAM 35\n";
+}
+
+void
+runFig9(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    os << "=== Fig. 9: L1 stall distribution (%) ===\n";
+    auto base = exp::baselineResults(opts);
+    exp::fig9L1StallDistribution(base).table.print(os);
+    os << "\npaper averages: cache 11, mshr 41, bp-L2 48\n";
+}
+
+void
+runFig10(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    os << "=== Fig. 10: 4x bandwidth scaling (speedup) ===\n";
+    auto t = exp::fig10DseScaling(opts);
+    t.table.print(os);
+    os << "\npaper averages: L1 1.04, L2 1.59, DRAM 1.11, "
+          "L1+L2 1.69, L2+DRAM 1.76, All 1.90\n";
+}
+
+void
+runFig11(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    exp::ExperimentOptions o = opts;
+    if (o.benchmarks.empty())
+        o.benchmarks = exp::fig11DefaultBenchmarks();
+    os << "=== Fig. 11: core-frequency sweep ===\n";
+    auto t = exp::fig11FrequencySweep(o, exp::fig11DefaultFrequencies());
+    t.table.print(os);
+    os << "\n(simulated stand-in for the paper's real-GPU "
+          "experiment; see DESIGN.md)\n";
+}
+
+void
+runFig12(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    os << "=== Fig. 12: cost-effective configurations ===\n";
+    auto t = exp::fig12CostEffective(opts);
+    t.table.print(os);
+    os << "\npaper averages: 16+48 1.234, 16+68 1.29, 32+52 1.257, "
+          "HBM 1.11\n";
+}
+
+void
+runTab1(const exp::ExperimentOptions &, std::ostream &os)
+{
+    os << "=== Table I: baseline architecture parameters ===\n";
+    exp::tab1BaselineConfig().print(os);
+}
+
+void
+runTab2(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    os << "=== Table II: speedup bounds (P-inf / P-DRAM) ===\n";
+    auto t = exp::tab2SpeedupBounds(opts);
+    t.table.print(os);
+    os << "\npaper: P-inf AVG 2.37, P-DRAM AVG 1.15\n";
+}
+
+void
+runTab3(const exp::ExperimentOptions &, std::ostream &os)
+{
+    os << "=== Table III: consolidated design space ===\n";
+    exp::tab3DesignSpace().print(os);
+}
+
+void
+runSec4(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    os << "=== §IV-B1: DRAM bandwidth efficiency ===\n";
+    auto base = exp::baselineResults(opts);
+    exp::sec4DramEfficiency(base).table.print(os);
+    os << "\npaper: average 41%, max 65% (stencil)\n";
+}
+
+void
+runSec7(const exp::ExperimentOptions &, std::ostream &os)
+{
+    os << "=== §VII: area overhead of cost-effective configs ===\n";
+    auto t = exp::sec7AreaOverhead();
+    t.table.print(os);
+
+    os << "\nStorage breakdown for 16+48:\n";
+    AreaReport rep = AreaModel::delta(GpuConfig::baseline(),
+                                      GpuConfig::costEffective16_48());
+    stats::TextTable bt({"structure", "delta-entries", "instances",
+                         "entry-bytes", "KB"});
+    for (const auto &item : rep.items) {
+        bt.newRow().add(item.structure);
+        bt.addInt(item.entriesDelta);
+        bt.addInt(item.instances);
+        bt.addInt(item.entryBytes);
+        bt.addNum(item.totalKB, 2);
+    }
+    bt.print(os);
+    os << "\npaper: 94 KB storage, 7.48 mm^2, 1.1% die overhead; "
+          "with +20B wires 1.6%\n";
+}
+
+void
+runAblation(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    exp::ExperimentOptions o = opts;
+    if (o.benchmarks.empty())
+        o.benchmarks = {"mm", "lbm", "sc"};
+    auto profiles = exp::selectBenchmarks(o);
+
+    struct Knob
+    {
+        const char *name;
+        const char *type; // the paper's '=' / '+' classification
+        GpuConfig cfg;
+    };
+    std::vector<Knob> knobs;
+    auto add = [&knobs](const char *name, const char *type, auto mutate) {
+        GpuConfig c = GpuConfig::baseline();
+        c.name = name;
+        mutate(c);
+        knobs.push_back({name, type, c});
+    };
+
+    add("DRAM sched queue 4x", "=",
+        [](GpuConfig &c) { c.dramSchedQueue *= 4; });
+    add("DRAM banks 4x", "=", [](GpuConfig &c) { c.dramBanks *= 4; });
+    add("DRAM bus 4x", "+",
+        [](GpuConfig &c) { c.dramBusBytesPerCycle *= 4; });
+    add("L2 miss queue 4x", "=",
+        [](GpuConfig &c) { c.l2MissQueue *= 4; });
+    add("L2 resp queue 4x", "=",
+        [](GpuConfig &c) { c.l2RespQueue *= 4; });
+    add("L2 MSHR 4x", "=", [](GpuConfig &c) { c.l2MshrEntries *= 4; });
+    add("L2 access queue 4x", "=",
+        [](GpuConfig &c) { c.l2AccessQueue *= 4; });
+    add("L2 port 4x", "+", [](GpuConfig &c) { c.l2PortBytes *= 4; });
+    add("Flits 4x (128+128)", "+", [](GpuConfig &c) {
+        c.reqFlitBytes *= 4;
+        c.replyFlitBytes *= 4;
+    });
+    add("L2 banks 4x", "+",
+        [](GpuConfig &c) { c.l2BanksPerPartition *= 4; });
+    add("L1 miss queue 4x", "=",
+        [](GpuConfig &c) { c.l1dMissQueue *= 4; });
+    add("L1 MSHR 4x", "=", [](GpuConfig &c) { c.l1dMshrEntries *= 4; });
+    add("Mem pipeline 4x", "=",
+        [](GpuConfig &c) { c.memPipelineWidth *= 4; });
+
+    std::vector<RunSpec> specs;
+    for (const auto &p : profiles) {
+        specs.push_back({p, GpuConfig::baseline()});
+        for (const auto &k : knobs)
+            specs.push_back({p, k.cfg});
+    }
+    os << "=== Ablation: each Table III knob alone at 4x ("
+       << specs.size() << " sims) ===\n";
+    auto results = SimCache::global().runAll(specs, o.threads);
+
+    std::vector<std::string> headers{"knob", "type"};
+    for (const auto &p : profiles)
+        headers.push_back(p.name);
+    stats::TextTable t(headers);
+    std::size_t stride = knobs.size() + 1;
+    for (std::size_t k = 0; k < knobs.size(); ++k) {
+        t.newRow().add(knobs[k].name).add(knobs[k].type);
+        for (std::size_t b = 0; b < profiles.size(); ++b) {
+            const SimResult &base = results[b * stride];
+            const SimResult &r = results[b * stride + 1 + k];
+            t.addNum(r.speedupOver(base), 2);
+        }
+    }
+    t.print(os);
+    os << "\nNo single knob recovers the grouped Fig. 10 gains: "
+          "the bottleneck\nmoves to the next unscaled resource, "
+          "the paper's synergy argument.\n";
+}
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: bwsim [options] <experiment>...\n"
+          "\n"
+          "options:\n"
+          "  --list            list registered experiments and exit\n"
+          "  --benches=A,B,..  benchmark subset (paper abbreviations)\n"
+          "  --threads=N       host threads for the parallel runner\n"
+          "  --shrink=K        divide workload size by K (quick runs)\n"
+          "  --help            this message\n"
+          "\n"
+          "Options may also come from BWSIM_BENCHES / BWSIM_THREADS /\n"
+          "BWSIM_SHRINK; flags win. Several experiments in one\n"
+          "invocation share simulations through the SimCache.\n";
+}
+
+void
+printList(std::ostream &os)
+{
+    stats::TextTable t({"experiment", "replaces", "description"});
+    for (const auto &e : experimentRegistry())
+        t.newRow().add(e.name).add(e.legacy).add(e.title);
+    t.print(os);
+}
+
+} // anonymous namespace
+
+const std::vector<Experiment> &
+experimentRegistry()
+{
+    static const std::vector<Experiment> registry = {
+        {"tab1", "Table I: baseline architecture parameters",
+         "bench_tab01_config_dump", runTab1},
+        {"fig1", "Fig. 1: issue stalls and memory latencies",
+         "bench_fig01_stalls_latency", runFig1},
+        {"tab2", "Table II: P-inf / P-DRAM speedup bounds",
+         "bench_tab02_speedup_bounds", runTab2},
+        {"fig3", "Fig. 3: IPC vs. fixed L1 miss latency",
+         "bench_fig03_latency_sweep", runFig3},
+        {"fig4", "Fig. 4: L2 access queue occupancy",
+         "bench_fig04_l2q_occupancy", runFig4},
+        {"fig5", "Fig. 5: DRAM access queue occupancy",
+         "bench_fig05_dramq_occupancy", runFig5},
+        {"sec4", "Sec. IV-B1: DRAM bandwidth efficiency",
+         "bench_sec4_dram_efficiency", runSec4},
+        {"fig7", "Fig. 7: issue-stall distribution",
+         "bench_fig07_issue_stalls", runFig7},
+        {"fig8", "Fig. 8: L2 stall distribution",
+         "bench_fig08_l2_stalls", runFig8},
+        {"fig9", "Fig. 9: L1 stall distribution",
+         "bench_fig09_l1_stalls", runFig9},
+        {"tab3", "Table III: consolidated design space",
+         "bench_tab03_design_space", runTab3},
+        {"fig10", "Fig. 10: 4x bandwidth scaling",
+         "bench_fig10_dse_scaling", runFig10},
+        {"fig11", "Fig. 11: core-frequency sweep",
+         "bench_fig11_freq_sweep", runFig11},
+        {"fig12", "Fig. 12: cost-effective configurations",
+         "bench_fig12_cost_effective", runFig12},
+        {"sec7", "Sec. VII: area overhead of cost-effective configs",
+         "bench_sec7_area_overhead", runSec7},
+        {"ablation", "Each Table III knob alone at 4x",
+         "bench_ablation_knobs", runAblation},
+    };
+    return registry;
+}
+
+const Experiment *
+findExperiment(const std::string &name)
+{
+    for (const auto &e : experimentRegistry())
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+int
+runExperiment(const std::string &name, const exp::ExperimentOptions &opts,
+              std::ostream &out, std::ostream &err)
+{
+    const Experiment *e = findExperiment(name);
+    if (!e) {
+        err << "bwsim: unknown experiment '" << name
+            << "' (try --list)\n";
+        return 1;
+    }
+    e->run(opts, out);
+    return 0;
+}
+
+int
+runExperimentFromEnv(const std::string &name)
+{
+    return runExperiment(name, exp::ExperimentOptions::fromEnv(),
+                         std::cout, std::cerr);
+}
+
+int
+cliMain(int argc, const char *const *argv, std::ostream &out,
+        std::ostream &err)
+{
+    exp::ExperimentOptions opts = exp::ExperimentOptions::fromEnv();
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto valueOf = [&a](const char *flag) {
+            return a.substr(std::string(flag).size());
+        };
+        auto parseInt = [&err](const char *flag, const std::string &v,
+                               int &dst) {
+            char *end = nullptr;
+            long n = std::strtol(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0') {
+                err << "bwsim: " << flag << " expects an integer, got '"
+                    << v << "'\n";
+                return false;
+            }
+            dst = static_cast<int>(n);
+            return true;
+        };
+        if (a == "--help" || a == "-h") {
+            printUsage(out);
+            return 0;
+        } else if (a == "--list") {
+            printList(out);
+            return 0;
+        } else if (a.rfind("--benches=", 0) == 0) {
+            opts.benchmarks = exp::splitCsv(valueOf("--benches="));
+        } else if (a.rfind("--threads=", 0) == 0) {
+            if (!parseInt("--threads", valueOf("--threads="),
+                          opts.threads))
+                return 1;
+        } else if (a.rfind("--shrink=", 0) == 0) {
+            if (!parseInt("--shrink", valueOf("--shrink="), opts.shrink))
+                return 1;
+            opts.shrink = std::max(1, opts.shrink);
+        } else if (!a.empty() && a[0] == '-') {
+            err << "bwsim: unknown option '" << a << "'\n";
+            printUsage(err);
+            return 1;
+        } else {
+            names.push_back(a);
+        }
+    }
+
+    if (names.empty()) {
+        err << "bwsim: no experiment named\n";
+        printUsage(err);
+        return 1;
+    }
+    for (const auto &n : names)
+        if (!findExperiment(n)) {
+            err << "bwsim: unknown experiment '" << n
+                << "' (try --list)\n";
+            return 1;
+        }
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i > 0)
+            out << "\n";
+        runExperiment(names[i], opts, out, err);
+    }
+    return 0;
+}
+
+} // namespace bwsim::cli

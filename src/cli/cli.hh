@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The bwsim command-line driver: one binary dispatching to every
+ * registered paper experiment by name.
+ *
+ *   bwsim fig7 fig8 --benches=bfs,spmv --threads=8 --shrink=4
+ *   bwsim --list
+ *
+ * Running several experiments in one invocation shares simulations
+ * through the SimCache, so the baseline runs feeding figs. 1/4/5/7/8/9
+ * happen once, not once per figure. The legacy bench_* binaries are
+ * one-line wrappers over runExperimentFromEnv() and print byte-for-
+ * byte the same report as `bwsim <name>`.
+ */
+
+#ifndef BWSIM_CLI_CLI_HH
+#define BWSIM_CLI_CLI_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+
+namespace bwsim::cli
+{
+
+/** One runnable experiment: a figure, table or study of the paper. */
+struct Experiment
+{
+    std::string name;   ///< registry key, e.g. "fig7"
+    std::string title;  ///< one-line description for --list
+    std::string legacy; ///< the bench_* binary this replaces
+    std::function<void(const exp::ExperimentOptions &, std::ostream &)>
+        run;
+};
+
+/** Every experiment, in paper order. */
+const std::vector<Experiment> &experimentRegistry();
+
+/** Lookup by name; null when unknown. */
+const Experiment *findExperiment(const std::string &name);
+
+/**
+ * Run one experiment with explicit options; returns a process exit
+ * status (non-zero for an unknown name).
+ */
+int runExperiment(const std::string &name,
+                  const exp::ExperimentOptions &opts, std::ostream &out,
+                  std::ostream &err);
+
+/**
+ * Legacy bench_* entry point: options from BWSIM_* env vars, output
+ * to stdout.
+ */
+int runExperimentFromEnv(const std::string &name);
+
+/** Full argv-driven entry point behind main(). */
+int cliMain(int argc, const char *const *argv, std::ostream &out,
+            std::ostream &err);
+
+} // namespace bwsim::cli
+
+#endif // BWSIM_CLI_CLI_HH

@@ -1,0 +1,11 @@
+/** @file Entry point of the unified `bwsim` experiment driver. */
+
+#include <iostream>
+
+#include "cli/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return bwsim::cli::cliMain(argc, argv, std::cout, std::cerr);
+}

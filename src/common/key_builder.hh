@@ -1,0 +1,78 @@
+/**
+ * @file
+ * KeyBuilder: the one serializer behind GpuConfig::cacheKey() and
+ * BenchmarkProfile::cacheKey() (SimCache keys, equality, hashing).
+ * Free-form string fields are length-prefixed so a '|' inside one
+ * cannot collide with the field delimiter; keeping both cacheKey()
+ * implementations on this single builder keeps the key format uniform
+ * for the planned persistent on-disk cache.
+ */
+
+#ifndef BWSIM_COMMON_KEY_BUILDER_HH
+#define BWSIM_COMMON_KEY_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace bwsim
+{
+
+class KeyBuilder
+{
+  public:
+    explicit KeyBuilder(std::size_t reserve_bytes)
+    {
+        k.reserve(reserve_bytes);
+    }
+
+    /** Length-prefixed: {"a|b","c"} and {"a","b|c"} stay distinct. */
+    void
+    addStr(const std::string &s)
+    {
+        k += std::to_string(s.size());
+        k += ':';
+        k += s;
+        k += '|';
+    }
+
+    void
+    addU(std::uint64_t v)
+    {
+        raw(std::to_string(v));
+    }
+
+    void
+    addI(long long v)
+    {
+        raw(std::to_string(v));
+    }
+
+    void
+    addF(double v)
+    {
+        raw(csprintf("%.17g", v));
+    }
+
+    std::string
+    str() &&
+    {
+        return std::move(k);
+    }
+
+  private:
+    void
+    raw(const std::string &s)
+    {
+        k += s;
+        k += '|';
+    }
+
+    std::string k;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_COMMON_KEY_BUILDER_HH

@@ -6,13 +6,11 @@
 #include "cache/cache.hh"
 #include "common/log.hh"
 #include "core/cost_model.hh"
+#include "core/sim_cache.hh"
 #include "smcore/stall.hh"
 #include "stats/occupancy_hist.hh"
 
 namespace bwsim::exp
-{
-
-namespace
 {
 
 std::vector<std::string>
@@ -27,7 +25,14 @@ splitCsv(const std::string &s)
     return out;
 }
 
-/** Run one config across all benchmarks and return the results. */
+namespace
+{
+
+/**
+ * Run one config across all benchmarks through the process-wide
+ * SimCache: figures sharing (profile, config) pairs -- above all the
+ * baseline runs -- simulate them once per driver invocation.
+ */
 std::vector<SimResult>
 runConfig(const std::vector<BenchmarkProfile> &profiles,
           const GpuConfig &cfg, int threads)
@@ -36,7 +41,7 @@ runConfig(const std::vector<BenchmarkProfile> &profiles,
     specs.reserve(profiles.size());
     for (const auto &p : profiles)
         specs.push_back({p, cfg});
-    return runAll(specs, threads);
+    return SimCache::global().runAll(specs, threads);
 }
 
 /** Build a speedup-style SeriesTable: rows = benchmarks (+AVG). */

@@ -32,6 +32,10 @@ struct ExperimentOptions
     static ExperimentOptions fromEnv();
 };
 
+/** Split a comma-separated list, dropping empty items (benchmark
+ *  subsets from BWSIM_BENCHES or the CLI's --benches=). */
+std::vector<std::string> splitCsv(const std::string &s);
+
 /** A printable table plus its numeric payload. */
 struct SeriesTable
 {

@@ -1,0 +1,162 @@
+#include "core/sim_cache.hh"
+
+namespace bwsim
+{
+
+SimCache &
+SimCache::global()
+{
+    static SimCache cache;
+    return cache;
+}
+
+std::string
+SimCache::keyOf(const BenchmarkProfile &profile, const GpuConfig &config)
+{
+    return profile.cacheKey() + '\n' + config.cacheKey();
+}
+
+SimResult
+SimCache::run(const BenchmarkProfile &profile, const GpuConfig &config)
+{
+    std::vector<RunSpec> spec{{profile, config}};
+    return runAll(spec, 1).front();
+}
+
+std::vector<SimResult>
+SimCache::runAll(const std::vector<RunSpec> &specs, int threads)
+{
+    std::vector<SimResult> out(specs.size());
+
+    // Resolve hits, claim the distinct missing keys, and note keys a
+    // concurrent runAll() already claimed (we wait for those instead
+    // of re-simulating).
+    std::vector<std::string> keys(specs.size());
+    std::vector<std::size_t> pending; // spec indices we simulate
+    std::vector<std::size_t> waiting; // spec indices another call runs
+    std::unordered_map<std::string, std::size_t> first_miss;
+    std::vector<RunSpec> to_run;
+    std::vector<std::string> run_keys; // keys of to_run, same order
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            keys[i] = keyOf(specs[i].profile, specs[i].config);
+            auto it = results.find(keys[i]);
+            if (it != results.end()) {
+                out[i] = it->second;
+                ++hitCount;
+                continue;
+            }
+            if (first_miss.count(keys[i])) {
+                pending.push_back(i);
+                continue;
+            }
+            if (inFlight.count(keys[i])) {
+                waiting.push_back(i);
+                continue;
+            }
+            pending.push_back(i);
+            first_miss.emplace(keys[i], to_run.size());
+            inFlight.insert(keys[i]);
+            to_run.push_back(specs[i]);
+            run_keys.push_back(keys[i]);
+        }
+        runCount += to_run.size();
+    }
+
+    if (!to_run.empty()) {
+        // Simulate our claimed misses outside the lock, on the
+        // parallel runner. On failure the claims must be released, or
+        // waiters in concurrent runAll() calls would block forever.
+        std::vector<SimResult> fresh;
+        try {
+            fresh = bwsim::runAll(to_run, threads);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            for (const auto &k : run_keys)
+                inFlight.erase(k);
+            cv.notify_all();
+            throw;
+        }
+
+        std::lock_guard<std::mutex> lock(mu);
+        for (std::size_t r = 0; r < to_run.size(); ++r) {
+            results.emplace(run_keys[r], fresh[r]);
+            inFlight.erase(run_keys[r]);
+        }
+        for (std::size_t i : pending)
+            out[i] = fresh[first_miss.at(keys[i])];
+        cv.notify_all();
+    }
+
+    if (!waiting.empty()) {
+        std::unique_lock<std::mutex> lock(mu);
+        for (std::size_t i : waiting) {
+            cv.wait(lock, [&] {
+                return results.count(keys[i]) > 0 ||
+                       inFlight.count(keys[i]) == 0;
+            });
+            auto it = results.find(keys[i]);
+            if (it != results.end()) {
+                out[i] = it->second;
+                ++hitCount;
+                continue;
+            }
+            // The producing call failed or clear() dropped the result
+            // before we woke: claim the key and simulate it ourselves.
+            inFlight.insert(keys[i]);
+            ++runCount;
+            lock.unlock();
+            SimResult r;
+            try {
+                r = bwsim::runAll({specs[i]}, 1).front();
+            } catch (...) {
+                lock.lock();
+                inFlight.erase(keys[i]);
+                cv.notify_all();
+                throw;
+            }
+            lock.lock();
+            results.emplace(keys[i], r);
+            inFlight.erase(keys[i]);
+            out[i] = r;
+            cv.notify_all();
+        }
+    }
+    return out;
+}
+
+void
+SimCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    results.clear();
+    hitCount = 0;
+    runCount = 0;
+    // inFlight keys stay claimed by their active producers; wake
+    // waiters so none sleeps through a result dropped before it woke.
+    cv.notify_all();
+}
+
+std::uint64_t
+SimCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return hitCount;
+}
+
+std::uint64_t
+SimCache::simsRun() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return runCount;
+}
+
+std::size_t
+SimCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return results.size();
+}
+
+} // namespace bwsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SimCache: memoizes (BenchmarkProfile, GpuConfig) -> SimResult so a
+ * driver invocation that builds several figures simulates each unique
+ * pair exactly once. Simulations are deterministic (fixed RNG seeds),
+ * so a cached result is bit-identical to a fresh run.
+ *
+ * The process-wide instance behind the experiment framework is
+ * global(); tests construct their own. Thread-safe: lookups and
+ * inserts take a mutex, the simulations themselves run outside it on
+ * the parallel DSE runner.
+ */
+
+#ifndef BWSIM_CORE_SIM_CACHE_HH
+#define BWSIM_CORE_SIM_CACHE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/dse.hh"
+
+namespace bwsim
+{
+
+class SimCache
+{
+  public:
+    /** The process-wide cache used by src/core/experiments.cc. */
+    static SimCache &global();
+
+    /** Run (or recall) a single simulation. */
+    SimResult run(const BenchmarkProfile &profile, const GpuConfig &config);
+
+    /**
+     * Run every spec, recalling cached pairs and simulating the rest
+     * with up to @p threads host threads (0 = hardware concurrency).
+     * Duplicate specs within one batch are simulated only once.
+     * Results are returned in spec order.
+     */
+    std::vector<SimResult> runAll(const std::vector<RunSpec> &specs,
+                                  int threads = 0);
+
+    /** Drop every cached result and zero the counters. */
+    void clear();
+
+    /** @name Counters (tests assert baseline runs exactly once) */
+    /**@{*/
+    std::uint64_t hits() const;
+    /** Number of simulations actually executed ( == misses). */
+    std::uint64_t simsRun() const;
+    std::size_t size() const;
+    /**@}*/
+
+  private:
+    static std::string keyOf(const BenchmarkProfile &profile,
+                             const GpuConfig &config);
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<std::string, SimResult> results;
+    /** Keys claimed by a runAll() in progress; concurrent callers
+     *  wait for the result instead of re-simulating. */
+    std::unordered_set<std::string> inFlight;
+    std::uint64_t hitCount = 0;
+    std::uint64_t runCount = 0;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_CORE_SIM_CACHE_HH

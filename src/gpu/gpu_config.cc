@@ -1,6 +1,9 @@
 #include "gpu/gpu_config.hh"
 
+#include <functional>
+
 #include "common/intmath.hh"
+#include "common/key_builder.hh"
 #include "common/log.hh"
 
 namespace bwsim
@@ -344,6 +347,107 @@ GpuConfig::fixedL1Lat(std::uint32_t latency_cycles)
     c.mode = MemoryMode::FixedL1Lat;
     c.fixedL1MissLatency = latency_cycles;
     return c;
+}
+
+#if defined(__GLIBCXX__) && defined(__x86_64__) && _GLIBCXX_USE_CXX11_ABI
+// Trip-wire for cacheKey() completeness: growing GpuConfig trips this
+// assert, forcing the new field to be considered for the key below
+// (and the size here updated). Gated to one ABI (new-ABI libstdc++ on
+// x86-64) so other platforms with different padding still build.
+static_assert(sizeof(GpuConfig) == 320,
+              "GpuConfig changed: add the new field to cacheKey() or "
+              "the SimCache conflates configs differing only in it");
+#endif
+
+std::string
+GpuConfig::cacheKey() const
+{
+    // Every knob that reaches the simulator must appear here; a field
+    // added to GpuConfig without a key entry would make the SimCache
+    // return stale results for configs differing only in that field.
+    KeyBuilder kb(256);
+    auto addU = [&kb](std::uint64_t v) { kb.addU(v); };
+    auto addI = [&kb](long long v) { kb.addI(v); };
+    auto addF = [&kb](double v) { kb.addF(v); };
+
+    kb.addStr(name);
+    addF(coreClockMhz);
+    addF(icntClockMhz);
+    addF(dramClockMhz);
+    addI(numCores);
+    addI(maxWarpsPerCore);
+    addI(numSchedulers);
+    addI(ibufferEntries);
+    addI(fetchWidth);
+    addI(memPipelineWidth);
+    addI(aluIssuePerCycle);
+    addI(aluInflightCap);
+    addI(sfuInflightCap);
+    addU(static_cast<std::uint64_t>(schedPolicy));
+    addU(l1dSizeBytes);
+    addU(l1dAssoc);
+    addU(lineBytes);
+    addU(l1dMshrEntries);
+    addU(l1dMshrMerge);
+    addU(l1dMissQueue);
+    addU(l1dHitLatency);
+    addU(l1iSizeBytes);
+    addU(l1iAssoc);
+    addU(l1iMshrEntries);
+    addU(l1iMissQueue);
+    addU(reqFlitBytes);
+    addU(replyFlitBytes);
+    addU(injQueuePackets);
+    addU(coreRespFifo);
+    addU(reqEjQueuePackets);
+    addU(icntTransitLatency);
+    addU(numPartitions);
+    addU(l2BanksPerPartition);
+    addU(l2TotalSizeBytes);
+    addU(l2Assoc);
+    addU(l2MshrEntries);
+    addU(l2MshrMerge);
+    addU(l2MissQueue);
+    addU(l2RespQueue);
+    addU(l2AccessQueue);
+    addU(l2PortBytes);
+    addU(l2HitLatency);
+    addU(ropLatency);
+    addU(dramTiming.tCCD);
+    addU(dramTiming.tRRD);
+    addU(dramTiming.tRCD);
+    addU(dramTiming.tRAS);
+    addU(dramTiming.tRP);
+    addU(dramTiming.tRC);
+    addU(dramTiming.CL);
+    addU(dramTiming.WL);
+    addU(dramTiming.tCDLR);
+    addU(dramTiming.tWR);
+    addU(dramBanks);
+    addU(dramRowBytes);
+    addU(dramBusBytesPerCycle);
+    addU(dramSchedQueue);
+    addU(dramReturnQueue);
+    addU(dramReturnPipeLatency);
+    addU(static_cast<std::uint64_t>(mode));
+    addU(fixedL1MissLatency);
+    addU(perfectL2Latency);
+    addU(perfectDramLatency);
+    addU(idealDramLatency);
+    addU(maxCoreCycles);
+    return std::move(kb).str();
+}
+
+bool
+GpuConfig::operator==(const GpuConfig &o) const
+{
+    return cacheKey() == o.cacheKey();
+}
+
+std::size_t
+GpuConfig::Hash::operator()(const GpuConfig &c) const
+{
+    return std::hash<std::string>{}(c.cacheKey());
 }
 
 } // namespace bwsim

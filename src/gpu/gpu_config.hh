@@ -160,6 +160,22 @@ struct GpuConfig
     /** Sanity checks; fatal() on inconsistent combinations. */
     void validate() const;
 
+    /** @name Identity (SimCache keying) */
+    /**@{*/
+    /**
+     * Stable serialization of every architectural knob (including the
+     * name, since it is reported in SimResult::config). Two configs
+     * simulate identically iff their keys match.
+     */
+    std::string cacheKey() const;
+    bool operator==(const GpuConfig &o) const;
+    bool operator!=(const GpuConfig &o) const { return !(*this == o); }
+    struct Hash
+    {
+        std::size_t operator()(const GpuConfig &c) const;
+    };
+    /**@}*/
+
     /** @name Presets (Table I / Table III / Table II modes) */
     /**@{*/
     static GpuConfig baseline();

@@ -92,6 +92,19 @@ struct BenchmarkProfile
     /** Paper-reported reference values (Table II), for reports/tests. */
     double paperPinf = 0.0;
     double paperPdram = 0.0;
+
+    /**
+     * Stable serialization of every workload knob (SimCache keying).
+     * Two profiles generate identical traces iff their keys match.
+     */
+    std::string cacheKey() const;
+    /** "Simulates identically": compares cacheKey(), which excludes
+     *  the report-only paperPinf/paperPdram reference values. */
+    bool operator==(const BenchmarkProfile &o) const;
+    bool operator!=(const BenchmarkProfile &o) const
+    {
+        return !(*this == o);
+    }
 };
 
 /** The 19 memory-intensive benchmarks in Table II order. */

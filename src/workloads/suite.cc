@@ -1,5 +1,6 @@
 #include "workloads/profile.hh"
 
+#include "common/key_builder.hh"
 #include "common/log.hh"
 
 namespace bwsim
@@ -320,6 +321,62 @@ makeTestProfile(const std::string &name)
         fatal("unknown test profile '%s'", name.c_str());
     }
     return p;
+}
+
+#if defined(__GLIBCXX__) && defined(__x86_64__) && _GLIBCXX_USE_CXX11_ABI
+// Trip-wire for cacheKey() completeness; see the GpuConfig twin in
+// src/gpu/gpu_config.cc.
+static_assert(sizeof(BenchmarkProfile) == 240,
+              "BenchmarkProfile changed: consider the new field for "
+              "cacheKey() and update this size");
+#endif
+
+std::string
+BenchmarkProfile::cacheKey() const
+{
+    // Mirror of GpuConfig::cacheKey(): every knob that shapes the
+    // generated trace must appear, or the SimCache would conflate
+    // distinct workloads. paperPinf/paperPdram are report-only
+    // reference values and deliberately stay out of the key.
+    KeyBuilder kb(192);
+    auto addU = [&kb](std::uint64_t v) { kb.addU(v); };
+    auto addI = [&kb](long long v) { kb.addI(v); };
+    auto addF = [&kb](double v) { kb.addF(v); };
+
+    kb.addStr(name);
+    kb.addStr(suite);
+    addI(numCtas);
+    addI(warpsPerCta);
+    addI(maxCtasPerCore);
+    addI(instsPerWarp);
+    addF(memFraction);
+    addF(storeFraction);
+    addF(sfuFraction);
+    addI(ilpDistance);
+    addU(aluLatency);
+    addU(sfuLatency);
+    addI(minAccessesPerInst);
+    addI(maxAccessesPerInst);
+    addF(pHot);
+    addF(pTile);
+    addF(pShared);
+    addF(pRandom);
+    addU(hotBytes);
+    addU(tileBytes);
+    addU(tileWindowBytes);
+    addI(tileWindowAdvance);
+    addU(sharedBytes);
+    addU(randomBytes);
+    addU(storeBytes);
+    addI(loopInsts);
+    addU(seed);
+    return std::move(kb).str();
+}
+
+bool
+BenchmarkProfile::operator==(const BenchmarkProfile &o) const
+{
+    return cacheKey() == o.cacheKey();
 }
 
 } // namespace bwsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * bwsim CLI tests: registry completeness, --list, option parsing, and
+ * parity between `bwsim <name>` and the legacy env-driven bench path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "cli/cli.hh"
+
+using namespace bwsim;
+
+namespace
+{
+
+int
+runCli(std::vector<const char *> args, std::string &out_s,
+       std::string &err_s)
+{
+    args.insert(args.begin(), "bwsim");
+    std::ostringstream out, err;
+    int rc = cli::cliMain(static_cast<int>(args.size()), args.data(), out,
+                          err);
+    out_s = out.str();
+    err_s = err.str();
+    return rc;
+}
+
+} // namespace
+
+TEST(Cli, RegistryCoversEveryLegacyBench)
+{
+    const auto &reg = cli::experimentRegistry();
+    // 16 experiments: figs 1/3/4/5/7/8/9/10/11/12, tables I-III,
+    // secs IV/VII, and the ablation study.
+    EXPECT_EQ(reg.size(), 16u);
+    for (const auto &e : reg) {
+        EXPECT_FALSE(e.name.empty());
+        EXPECT_FALSE(e.legacy.empty());
+        EXPECT_TRUE(bool(e.run)) << e.name;
+        EXPECT_EQ(cli::findExperiment(e.name), &e);
+    }
+    EXPECT_EQ(cli::findExperiment("fig2"), nullptr);
+}
+
+TEST(Cli, ListNamesEveryRegisteredExperiment)
+{
+    std::string out, err;
+    ASSERT_EQ(runCli({"--list"}, out, err), 0);
+    for (const auto &e : cli::experimentRegistry()) {
+        EXPECT_NE(out.find(e.name), std::string::npos) << e.name;
+        EXPECT_NE(out.find(e.legacy), std::string::npos) << e.legacy;
+    }
+    EXPECT_TRUE(err.empty());
+}
+
+TEST(Cli, UnknownExperimentExitsNonZero)
+{
+    std::string out, err;
+    EXPECT_NE(runCli({"nosuch"}, out, err), 0);
+    EXPECT_NE(err.find("unknown experiment"), std::string::npos);
+    // A bad name anywhere fails before any experiment runs.
+    EXPECT_NE(runCli({"tab1", "nosuch"}, out, err), 0);
+    EXPECT_EQ(out.find("Table I"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionExitsNonZero)
+{
+    std::string out, err;
+    EXPECT_NE(runCli({"--frobnicate", "tab1"}, out, err), 0);
+    EXPECT_NE(err.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, NoExperimentExitsNonZero)
+{
+    std::string out, err;
+    EXPECT_NE(runCli({}, out, err), 0);
+    EXPECT_NE(err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, HelpExitsZero)
+{
+    std::string out, err;
+    EXPECT_EQ(runCli({"--help"}, out, err), 0);
+    EXPECT_NE(out.find("usage"), std::string::npos);
+}
+
+TEST(Cli, StaticTablesRunWithoutSimulation)
+{
+    std::string out, err;
+    ASSERT_EQ(runCli({"tab1"}, out, err), 0);
+    EXPECT_NE(out.find("Table I"), std::string::npos);
+    ASSERT_EQ(runCli({"tab3"}, out, err), 0);
+    EXPECT_NE(out.find("Table III"), std::string::npos);
+    ASSERT_EQ(runCli({"sec7"}, out, err), 0);
+    EXPECT_NE(out.find("area overhead"), std::string::npos);
+}
+
+TEST(Cli, FlagOutputMatchesLegacyEnvDrivenPath)
+{
+    // The legacy bench binaries call runExperiment() with env-derived
+    // options; for a static experiment both paths must print the same
+    // bytes.
+    std::ostringstream legacy, err;
+    ASSERT_EQ(cli::runExperiment("tab3", exp::ExperimentOptions{}, legacy,
+                                 err),
+              0);
+    std::string out, err_s;
+    ASSERT_EQ(runCli({"tab3"}, out, err_s), 0);
+    EXPECT_EQ(out, legacy.str());
+}
+
+TEST(Cli, MultipleExperimentsSeparatedByBlankLine)
+{
+    std::string out, err;
+    ASSERT_EQ(runCli({"tab1", "tab3"}, out, err), 0);
+    auto t1 = out.find("Table I");
+    auto t3 = out.find("Table III");
+    EXPECT_NE(t1, std::string::npos);
+    EXPECT_NE(t3, std::string::npos);
+    EXPECT_LT(t1, t3);
+}

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "icnt/crossbar.hh"
 
@@ -198,4 +200,117 @@ TEST(Interconnect, TwoIndependentNetworks)
     icnt.request().ejectPop(2);
     icnt.reply().ejectPop(0);
     EXPECT_EQ(icnt.packetsInFlight(), 0u);
+}
+
+TEST(Crossbar, RoundRobinFairnessUnderContention)
+{
+    // All four sources hammer destination 0 with single-flit packets;
+    // round-robin arbitration must not starve anyone: delivered counts
+    // stay within one packet of each other at all times.
+    NetworkParams p = smallNet();
+    CrossbarNetwork net(p);
+    MemFetch mfs[4];
+    int delivered[4] = {0, 0, 0, 0};
+
+    for (int cycle = 0; cycle < 64; ++cycle) {
+        for (std::uint32_t s = 0; s < 4; ++s)
+            if (net.canAccept(s))
+                net.inject(s, 0, &mfs[s], 8, 0.0);
+        net.tick();
+        while (net.ejectReady(0)) {
+            MemFetch *mf = net.ejectPop(0);
+            int src = int(mf - &mfs[0]);
+            ASSERT_GE(src, 0);
+            ASSERT_LT(src, 4);
+            ++delivered[src];
+        }
+        int lo = delivered[0], hi = delivered[0];
+        for (int s = 1; s < 4; ++s) {
+            lo = std::min(lo, delivered[s]);
+            hi = std::max(hi, delivered[s]);
+        }
+        EXPECT_LE(hi - lo, 1) << "at cycle " << cycle;
+    }
+    int total = delivered[0] + delivered[1] + delivered[2] + delivered[3];
+    EXPECT_GT(total, 40); // one per cycle minus pipeline fill
+}
+
+TEST(Crossbar, EjectionBackpressureBlocksAndRecovers)
+{
+    // Nobody pops destination 0: the ejection buffer plus in-transit
+    // reservations fill, the output port blocks (counted), and no
+    // packet is ever lost -- everything drains once the consumer pops.
+    NetworkParams p = smallNet();
+    CrossbarNetwork net(p);
+    MemFetch mf;
+    std::uint64_t injected = 0;
+
+    for (int cycle = 0; cycle < 40; ++cycle) {
+        for (std::uint32_t s = 0; s < 4; ++s)
+            if (net.canAccept(s)) {
+                net.inject(s, 0, &mf, 8, 0.0);
+                ++injected;
+            }
+        net.tick();
+    }
+    EXPECT_GT(net.counters().ejectBlockedCycles, 0u);
+    // Un-popped deliveries pile up to at most the ejection capacity.
+    EXPECT_LE(net.counters().packetsEjected, p.ejQueuePackets);
+    std::uint64_t popped = 0;
+    for (int cycle = 0; cycle < 200 && net.packetsInFlight() > 0;
+         ++cycle) {
+        while (net.ejectReady(0)) {
+            net.ejectPop(0);
+            ++popped;
+        }
+        net.tick();
+    }
+    while (net.ejectReady(0)) {
+        net.ejectPop(0);
+        ++popped;
+    }
+    EXPECT_EQ(net.packetsInFlight(), 0u);
+    EXPECT_EQ(popped, injected);
+    EXPECT_EQ(net.counters().packetsEjected, injected);
+}
+
+TEST(Crossbar, WormholeHoldsGrantForMultiFlitPacket)
+{
+    // A 4-flit packet from source 0 and a 1-flit packet from source 1
+    // contend for destination 0. Wormhole switching keeps the grant
+    // with the multi-flit packet until its tail flit, so source 1's
+    // packet is delivered only afterwards.
+    NetworkParams p = smallNet(32);
+    CrossbarNetwork net(p);
+    MemFetch big, small;
+    net.inject(0, 0, &big, 128, 0.0); // 4 flits
+    net.inject(1, 0, &small, 8, 0.0); // 1 flit
+
+    std::vector<MemFetch *> order;
+    for (int cycle = 0; cycle < 20; ++cycle) {
+        net.tick();
+        while (net.ejectReady(0))
+            order.push_back(net.ejectPop(0));
+    }
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], &big);
+    EXPECT_EQ(order[1], &small);
+    EXPECT_EQ(net.counters().flitsTransferred, 5u);
+}
+
+TEST(Crossbar, ContentionIsPerDestination)
+{
+    // Packets to distinct destinations never contend: four sources to
+    // four... (3 dests here) -- three parallel deliveries per cycle.
+    NetworkParams p = smallNet();
+    CrossbarNetwork net(p);
+    MemFetch mfs[3];
+    for (std::uint32_t s = 0; s < 3; ++s)
+        net.inject(s, s, &mfs[s], 8, 0.0);
+    for (int cycle = 0; cycle < 3; ++cycle)
+        net.tick();
+    for (std::uint32_t d = 0; d < 3; ++d) {
+        ASSERT_TRUE(net.ejectReady(d)) << "dest " << d;
+        EXPECT_EQ(net.ejectPop(d), &mfs[d]);
+    }
 }

@@ -95,3 +95,95 @@ TEST(Mshr, IndependentLines)
     EXPECT_FALSE(m.hasEntry(3 * 128));
     EXPECT_TRUE(m.hasEntry(4 * 128));
 }
+
+TEST(Mshr, MergeOnFullTable)
+{
+    // A full table must still merge secondary misses into existing
+    // entries: merging needs no new entry, only a waiter slot.
+    MshrTable m(2, 4);
+    m.allocate(0x100);
+    m.allocate(0x200);
+    ASSERT_TRUE(m.full());
+
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(m.canMerge(0x100));
+        m.addWaiter(0x100, MshrWaiter{i, i, nullptr, false});
+    }
+    EXPECT_EQ(m.waiterCount(0x100), 3u);
+    EXPECT_TRUE(m.full());
+    // The fourth waiter exhausts the merge budget, not the table.
+    m.addWaiter(0x100, MshrWaiter{3, 3, nullptr, false});
+    EXPECT_FALSE(m.canMerge(0x100));
+    EXPECT_TRUE(m.canMerge(0x200));
+
+    std::vector<MshrWaiter> out;
+    m.fill(0x100, out);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_FALSE(m.full());
+    EXPECT_TRUE(m.wouldAllocate(0x300));
+}
+
+TEST(Mshr, SecondaryMissOrderingAcrossLines)
+{
+    // Interleaved secondary misses on two lines: each fill delivers
+    // only its own line's waiters, in arrival (FIFO) order.
+    MshrTable m(4, 8);
+    m.allocate(0x100);
+    m.allocate(0x200);
+    for (int i = 0; i < 3; ++i) {
+        m.addWaiter(0x100, MshrWaiter{10 + i, i, nullptr, false});
+        m.addWaiter(0x200, MshrWaiter{20 + i, i, nullptr, false});
+    }
+
+    std::vector<MshrWaiter> out;
+    m.fill(0x200, out);
+    ASSERT_EQ(out.size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(out[i].warpId, 20 + i);
+
+    // fill() appends: line 0x100's waiters follow, again in order.
+    m.fill(0x100, out);
+    ASSERT_EQ(out.size(), 6u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(out[3 + i].warpId, 10 + i);
+}
+
+TEST(Mshr, WaiterBookkeepingAcrossFillCycles)
+{
+    // size() counts in-flight lines and totalWaiters() their merged
+    // accesses; both must return to zero after every fill completes,
+    // and an entry slot freed by fill() must be reusable at once.
+    MshrTable m(2, 4);
+    for (int round = 0; round < 3; ++round) {
+        Addr a = 0x1000 * (round + 1);
+        m.allocate(a);
+        m.allocate(a + 0x80);
+        m.addWaiter(a, MshrWaiter{round, 0, nullptr, false});
+        m.addWaiter(a + 0x80, MshrWaiter{round, 1, nullptr, false});
+        m.addWaiter(a + 0x80, MshrWaiter{round, 2, nullptr, false});
+        EXPECT_EQ(m.size(), 2u);
+        EXPECT_EQ(m.totalWaiters(), 3u);
+
+        std::vector<MshrWaiter> out;
+        m.fill(a, out);
+        EXPECT_EQ(m.size(), 1u);
+        EXPECT_EQ(m.totalWaiters(), 2u);
+        m.fill(a + 0x80, out);
+        EXPECT_EQ(m.size(), 0u);
+        EXPECT_EQ(m.totalWaiters(), 0u);
+        EXPECT_EQ(out.size(), 3u);
+    }
+}
+
+TEST(Mshr, InstFetchWaiterFlagSurvivesMerge)
+{
+    MshrTable m(2, 4);
+    m.allocate(0x100);
+    m.addWaiter(0x100, MshrWaiter{0, 0, nullptr, true});
+    m.addWaiter(0x100, MshrWaiter{1, 0, nullptr, false});
+    std::vector<MshrWaiter> out;
+    m.fill(0x100, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].isInstFetch);
+    EXPECT_FALSE(out[1].isInstFetch);
+}

@@ -195,8 +195,9 @@ TEST_P(SuiteCursors, GeneratesCleanTrace)
         if (inst.isMem()) {
             EXPECT_GE(int(inst.lineAddrs.size()), p.minAccessesPerInst);
             EXPECT_LE(int(inst.lineAddrs.size()), p.maxAccessesPerInst);
-            if (inst.op == Op::Store)
+            if (inst.op == Op::Store) {
                 EXPECT_EQ(inst.dest, -1);
+            }
         } else {
             EXPECT_TRUE(inst.lineAddrs.empty());
             EXPECT_GT(inst.latency, 0u);
