@@ -3,6 +3,8 @@
  * Ablation: each Table III knob alone at 4x.
  * Thin compatibility wrapper: `bwsim ablation` is the canonical driver
  * and prints the identical report.
+ * Honours BWSIM_BENCHES/THREADS/SHRINK and, like the driver,
+ * BWSIM_CACHE_DIR for the persistent SimCache tier.
  */
 
 #include "cli/cli.hh"

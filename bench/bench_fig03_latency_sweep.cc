@@ -3,6 +3,8 @@
  * Fig. 3: IPC (normalized) vs. fixed L1 miss latency.
  * Thin compatibility wrapper: `bwsim fig3` is the canonical driver
  * and prints the identical report.
+ * Honours BWSIM_BENCHES/THREADS/SHRINK and, like the driver,
+ * BWSIM_CACHE_DIR for the persistent SimCache tier.
  */
 
 #include "cli/cli.hh"

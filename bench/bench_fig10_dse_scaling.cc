@@ -3,6 +3,8 @@
  * Fig. 10: 4x design-point bandwidth scaling.
  * Thin compatibility wrapper: `bwsim fig10` is the canonical driver
  * and prints the identical report.
+ * Honours BWSIM_BENCHES/THREADS/SHRINK and, like the driver,
+ * BWSIM_CACHE_DIR for the persistent SimCache tier.
  */
 
 #include "cli/cli.hh"

@@ -3,6 +3,8 @@
  * Fig. 12: cost-effective configurations vs. HBM.
  * Thin compatibility wrapper: `bwsim fig12` is the canonical driver
  * and prints the identical report.
+ * Honours BWSIM_BENCHES/THREADS/SHRINK and, like the driver,
+ * BWSIM_CACHE_DIR for the persistent SimCache tier.
  */
 
 #include "cli/cli.hh"

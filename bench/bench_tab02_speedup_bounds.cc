@@ -3,6 +3,8 @@
  * Table II: P-inf / P-DRAM speedup bounds.
  * Thin compatibility wrapper: `bwsim tab2` is the canonical driver
  * and prints the identical report.
+ * Honours BWSIM_BENCHES/THREADS/SHRINK and, like the driver,
+ * BWSIM_CACHE_DIR for the persistent SimCache tier.
  */
 
 #include "cli/cli.hh"

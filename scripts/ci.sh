@@ -1,16 +1,77 @@
 #!/usr/bin/env sh
-# Tier-1 verify: configure, build, run the full ctest suite.
-# Usage: scripts/ci.sh [quick]  -- "quick" restricts to the fast
-# unit-label subset (sub-2-minute pre-commit loop).
+# Tier-1 verify: configure, build, run the full ctest suite, then the
+# persistent-cache / sharded-sweep smoke checks.
+# Usage: scripts/ci.sh [quick|test|smoke]
+#   quick  -- build + the fast unit-label subset (pre-commit loop)
+#   test   -- build + the full ctest suite
+#   smoke  -- cache/shard end-to-end checks against an existing build
+#   (none) -- test + smoke
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
+build() {
+    cmake -B build -S .
+    cmake --build build -j "$(nproc)"
+}
 
-if [ "${1:-}" = "quick" ]; then
-    ctest --test-dir build --output-on-failure -j "$(nproc)" -L quick
-else
-    ctest --test-dir build --output-on-failure -j "$(nproc)"
-fi
+run_tests() {
+    ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
+}
+
+# End-to-end checks of the execution backends:
+#  1. a warm --cache-dir invocation must simulate nothing (the run
+#     counter printed by --exec-stats must say sims=0);
+#  2. a sharded --jobs sweep must print tables byte-identical to the
+#     single-process run.
+smoke() {
+    smoke_tmp=$(mktemp -d)
+    trap 'rm -rf "$smoke_tmp"' EXIT
+    bwsim_args="fig4 --benches=bfs,lbm --shrink=16 --threads=2"
+
+    echo "smoke: cold/warm --cache-dir round trip"
+    ./build/bwsim $bwsim_args --cache-dir="$smoke_tmp/cache" \
+        --exec-stats > "$smoke_tmp/cold.out" 2> "$smoke_tmp/cold.err"
+    ./build/bwsim $bwsim_args --cache-dir="$smoke_tmp/cache" \
+        --exec-stats > "$smoke_tmp/warm.out" 2> "$smoke_tmp/warm.err"
+    if ! grep -q 'sims=0 ' "$smoke_tmp/warm.err"; then
+        echo "smoke FAIL: warm --cache-dir run re-simulated:" >&2
+        cat "$smoke_tmp/warm.err" >&2
+        exit 1
+    fi
+    cmp "$smoke_tmp/cold.out" "$smoke_tmp/warm.out" || {
+        echo "smoke FAIL: warm run printed different tables" >&2
+        exit 1
+    }
+
+    echo "smoke: --jobs sharded sweep parity"
+    ./build/bwsim $bwsim_args > "$smoke_tmp/single.out"
+    ./build/bwsim $bwsim_args --jobs=2 --cache-dir="$smoke_tmp/jobs" \
+        > "$smoke_tmp/jobs.out"
+    cmp "$smoke_tmp/single.out" "$smoke_tmp/jobs.out" || {
+        echo "smoke FAIL: --jobs=2 tables differ from the" \
+             "single-process run" >&2
+        exit 1
+    }
+    echo "smoke: OK"
+}
+
+case "${1:-}" in
+    quick)
+        build
+        run_tests -L quick
+        ;;
+    test)
+        build
+        run_tests
+        ;;
+    smoke)
+        [ -x build/bwsim ] || build
+        smoke
+        ;;
+    *)
+        build
+        run_tests
+        smoke
+        ;;
+esac

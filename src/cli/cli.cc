@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
+#include <thread>
 
 #include "common/log.hh"
 #include "core/cost_model.hh"
@@ -10,19 +12,69 @@
 #include "core/sim_cache.hh"
 #include "stats/table.hh"
 
+#ifdef __unix__
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 namespace bwsim::cli
 {
 
 namespace
 {
 
+/**
+ * Format-aware emitters: in text mode every byte matches the legacy
+ * reports; in csv/tsv mode tables become machine-readable grids,
+ * section headings become '#' comment lines, and prose notes are
+ * dropped so the output can be diffed and plotted directly.
+ */
+void
+heading(const exp::ExperimentOptions &opts, std::ostream &os,
+        const std::string &line)
+{
+    if (opts.format == exp::TableFormat::Text) {
+        os << line << "\n";
+        return;
+    }
+    std::size_t first = line.find_first_not_of('\n');
+    os << "# " << (first == std::string::npos ? line : line.substr(first))
+       << "\n";
+}
+
+void
+emit(const exp::ExperimentOptions &opts, std::ostream &os,
+     const stats::TextTable &t)
+{
+    switch (opts.format) {
+      case exp::TableFormat::Csv:
+        t.printCsv(os);
+        break;
+      case exp::TableFormat::Tsv:
+        t.printTsv(os);
+        break;
+      default:
+        t.print(os);
+        break;
+    }
+}
+
+void
+note(const exp::ExperimentOptions &opts, std::ostream &os,
+     const std::string &text)
+{
+    if (opts.format == exp::TableFormat::Text)
+        os << text;
+}
+
 void
 runFig1(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Fig. 1: issue stalls and memory latencies ===\n";
+    heading(opts, os, "=== Fig. 1: issue stalls and memory latencies ===");
     auto base = exp::baselineResults(opts);
-    exp::fig1StallsAndLatencies(base).table.print(os);
-    os << "\npaper averages: stall 62%, L2-AHL 303, AML 452\n";
+    emit(opts, os, exp::fig1StallsAndLatencies(base).table);
+    note(opts, os, "\npaper averages: stall 62%, L2-AHL 303, AML 452\n");
 }
 
 void
@@ -31,69 +83,73 @@ runFig3(const exp::ExperimentOptions &opts, std::ostream &os)
     exp::ExperimentOptions o = opts;
     if (o.benchmarks.empty())
         o.benchmarks = exp::fig3DefaultBenchmarks();
-    os << "=== Fig. 3: IPC vs. fixed L1 miss latency ===\n";
+    heading(opts, os, "=== Fig. 3: IPC vs. fixed L1 miss latency ===");
     auto t = exp::fig3LatencySweep(o, exp::fig3DefaultLatencies());
-    t.table.print(os);
-    os << "\n(each column: all L1 misses returned after that many "
-          "core cycles;\n value = speedup over the baseline "
-          "memory system)\n";
+    emit(opts, os, t.table);
+    note(opts, os,
+         "\n(each column: all L1 misses returned after that many "
+         "core cycles;\n value = speedup over the baseline "
+         "memory system)\n");
 }
 
 void
 runFig4(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Fig. 4: L2 access queue occupancy ===\n";
+    heading(opts, os, "=== Fig. 4: L2 access queue occupancy ===");
     auto base = exp::baselineResults(opts);
-    exp::fig4L2QueueOccupancy(base).table.print(os);
-    os << "\npaper: average 100%-full share is 0.46\n";
+    emit(opts, os, exp::fig4L2QueueOccupancy(base).table);
+    note(opts, os, "\npaper: average 100%-full share is 0.46\n");
 }
 
 void
 runFig5(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Fig. 5: DRAM access queue occupancy ===\n";
+    heading(opts, os, "=== Fig. 5: DRAM access queue occupancy ===");
     auto base = exp::baselineResults(opts);
-    exp::fig5DramQueueOccupancy(base).table.print(os);
-    os << "\npaper: average 100%-full share is 0.39\n";
+    emit(opts, os, exp::fig5DramQueueOccupancy(base).table);
+    note(opts, os, "\npaper: average 100%-full share is 0.39\n");
 }
 
 void
 runFig7(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Fig. 7: issue-stall distribution (%) ===\n";
+    heading(opts, os, "=== Fig. 7: issue-stall distribution (%) ===");
     auto base = exp::baselineResults(opts);
-    exp::fig7IssueStallDistribution(base).table.print(os);
-    os << "\npaper averages: data-MEM 15, data-ALU 5.5, str-MEM 71,"
-          " str-ALU 0.5, fetch 8\n";
+    emit(opts, os, exp::fig7IssueStallDistribution(base).table);
+    note(opts, os,
+         "\npaper averages: data-MEM 15, data-ALU 5.5, str-MEM 71,"
+         " str-ALU 0.5, fetch 8\n");
 }
 
 void
 runFig8(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Fig. 8: L2 stall distribution (%) ===\n";
+    heading(opts, os, "=== Fig. 8: L2 stall distribution (%) ===");
     auto base = exp::baselineResults(opts);
-    exp::fig8L2StallDistribution(base).table.print(os);
-    os << "\npaper averages: bp-ICNT 42, port 12, cache 8, mshr 3, "
-          "bp-DRAM 35\n";
+    emit(opts, os, exp::fig8L2StallDistribution(base).table);
+    note(opts, os,
+         "\npaper averages: bp-ICNT 42, port 12, cache 8, mshr 3, "
+         "bp-DRAM 35\n");
 }
 
 void
 runFig9(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Fig. 9: L1 stall distribution (%) ===\n";
+    heading(opts, os, "=== Fig. 9: L1 stall distribution (%) ===");
     auto base = exp::baselineResults(opts);
-    exp::fig9L1StallDistribution(base).table.print(os);
-    os << "\npaper averages: cache 11, mshr 41, bp-L2 48\n";
+    emit(opts, os, exp::fig9L1StallDistribution(base).table);
+    note(opts, os, "\npaper averages: cache 11, mshr 41, bp-L2 48\n");
 }
 
 void
 runFig10(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Fig. 10: 4x bandwidth scaling (speedup) ===\n";
+    heading(opts, os, "=== Fig. 10: 4x bandwidth scaling (speedup) ===");
     auto t = exp::fig10DseScaling(opts);
-    t.table.print(os);
-    os << "\npaper averages: L1 1.04, L2 1.59, DRAM 1.11, "
-          "L1+L2 1.69, L2+DRAM 1.76, All 1.90\n";
+    emit(opts, os, t.table);
+    note(opts, os,
+         "\npaper averages: L1 1.04, L2 1.59, DRAM 1.11, "
+         "L1+L2 1.69, L2+DRAM 1.76, All 1.90\n");
 }
 
 void
@@ -102,63 +158,66 @@ runFig11(const exp::ExperimentOptions &opts, std::ostream &os)
     exp::ExperimentOptions o = opts;
     if (o.benchmarks.empty())
         o.benchmarks = exp::fig11DefaultBenchmarks();
-    os << "=== Fig. 11: core-frequency sweep ===\n";
+    heading(opts, os, "=== Fig. 11: core-frequency sweep ===");
     auto t = exp::fig11FrequencySweep(o, exp::fig11DefaultFrequencies());
-    t.table.print(os);
-    os << "\n(simulated stand-in for the paper's real-GPU "
-          "experiment; see DESIGN.md)\n";
+    emit(opts, os, t.table);
+    note(opts, os,
+         "\n(simulated stand-in for the paper's real-GPU "
+         "experiment; see DESIGN.md)\n");
 }
 
 void
 runFig12(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Fig. 12: cost-effective configurations ===\n";
+    heading(opts, os, "=== Fig. 12: cost-effective configurations ===");
     auto t = exp::fig12CostEffective(opts);
-    t.table.print(os);
-    os << "\npaper averages: 16+48 1.234, 16+68 1.29, 32+52 1.257, "
-          "HBM 1.11\n";
+    emit(opts, os, t.table);
+    note(opts, os,
+         "\npaper averages: 16+48 1.234, 16+68 1.29, 32+52 1.257, "
+         "HBM 1.11\n");
 }
 
 void
-runTab1(const exp::ExperimentOptions &, std::ostream &os)
+runTab1(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Table I: baseline architecture parameters ===\n";
-    exp::tab1BaselineConfig().print(os);
+    heading(opts, os, "=== Table I: baseline architecture parameters ===");
+    emit(opts, os, exp::tab1BaselineConfig());
 }
 
 void
 runTab2(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Table II: speedup bounds (P-inf / P-DRAM) ===\n";
+    heading(opts, os, "=== Table II: speedup bounds (P-inf / P-DRAM) ===");
     auto t = exp::tab2SpeedupBounds(opts);
-    t.table.print(os);
-    os << "\npaper: P-inf AVG 2.37, P-DRAM AVG 1.15\n";
+    emit(opts, os, t.table);
+    note(opts, os, "\npaper: P-inf AVG 2.37, P-DRAM AVG 1.15\n");
 }
 
 void
-runTab3(const exp::ExperimentOptions &, std::ostream &os)
+runTab3(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== Table III: consolidated design space ===\n";
-    exp::tab3DesignSpace().print(os);
+    heading(opts, os, "=== Table III: consolidated design space ===");
+    emit(opts, os, exp::tab3DesignSpace());
 }
 
 void
 runSec4(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== §IV-B1: DRAM bandwidth efficiency ===\n";
+    heading(opts, os, "=== §IV-B1: DRAM bandwidth efficiency ===");
     auto base = exp::baselineResults(opts);
-    exp::sec4DramEfficiency(base).table.print(os);
-    os << "\npaper: average 41%, max 65% (stencil)\n";
+    emit(opts, os, exp::sec4DramEfficiency(base).table);
+    note(opts, os, "\npaper: average 41%, max 65% (stencil)\n");
 }
 
 void
-runSec7(const exp::ExperimentOptions &, std::ostream &os)
+runSec7(const exp::ExperimentOptions &opts, std::ostream &os)
 {
-    os << "=== §VII: area overhead of cost-effective configs ===\n";
+    heading(opts, os,
+            "=== §VII: area overhead of cost-effective configs ===");
     auto t = exp::sec7AreaOverhead();
-    t.table.print(os);
+    emit(opts, os, t.table);
 
-    os << "\nStorage breakdown for 16+48:\n";
+    heading(opts, os, "\nStorage breakdown for 16+48:");
     AreaReport rep = AreaModel::delta(GpuConfig::baseline(),
                                       GpuConfig::costEffective16_48());
     stats::TextTable bt({"structure", "delta-entries", "instances",
@@ -170,9 +229,10 @@ runSec7(const exp::ExperimentOptions &, std::ostream &os)
         bt.addInt(item.entryBytes);
         bt.addNum(item.totalKB, 2);
     }
-    bt.print(os);
-    os << "\npaper: 94 KB storage, 7.48 mm^2, 1.1% die overhead; "
-          "with +20B wires 1.6%\n";
+    emit(opts, os, bt);
+    note(opts, os,
+         "\npaper: 94 KB storage, 7.48 mm^2, 1.1% die overhead; "
+         "with +20B wires 1.6%\n");
 }
 
 void
@@ -228,9 +288,11 @@ runAblation(const exp::ExperimentOptions &opts, std::ostream &os)
         for (const auto &k : knobs)
             specs.push_back({p, k.cfg});
     }
-    os << "=== Ablation: each Table III knob alone at 4x ("
-       << specs.size() << " sims) ===\n";
-    auto results = SimCache::global().runAll(specs, o.threads);
+    heading(opts, os,
+            csprintf("=== Ablation: each Table III knob alone at 4x "
+                     "(%zu sims) ===",
+                     specs.size()));
+    auto results = exp::executionBackend().runAll(specs, o.threads);
 
     std::vector<std::string> headers{"knob", "type"};
     for (const auto &p : profiles)
@@ -245,10 +307,11 @@ runAblation(const exp::ExperimentOptions &opts, std::ostream &os)
             t.addNum(r.speedupOver(base), 2);
         }
     }
-    t.print(os);
-    os << "\nNo single knob recovers the grouped Fig. 10 gains: "
-          "the bottleneck\nmoves to the next unscaled resource, "
-          "the paper's synergy argument.\n";
+    emit(opts, os, t);
+    note(opts, os,
+         "\nNo single knob recovers the grouped Fig. 10 gains: "
+         "the bottleneck\nmoves to the next unscaled resource, "
+         "the paper's synergy argument.\n");
 }
 
 void
@@ -261,11 +324,24 @@ printUsage(std::ostream &os)
           "  --benches=A,B,..  benchmark subset (paper abbreviations)\n"
           "  --threads=N       host threads for the parallel runner\n"
           "  --shrink=K        divide workload size by K (quick runs)\n"
+          "  --format=F        table output: text (default), csv, tsv\n"
+          "  --cache-dir=DIR   persistent SimCache tier: warm\n"
+          "                    (profile, config) pairs load from DIR\n"
+          "                    instead of re-simulating\n"
+          "  --jobs=N          fork N shard workers over a shared\n"
+          "                    cache dir, then merge and print\n"
+          "  --shards=N        sharded-sweep worker mode: simulate\n"
+          "  --shard-id=I      only this worker's share of the keys\n"
+          "                    (requires --cache-dir; no tables are\n"
+          "                    printed, run the merge pass for those)\n"
+          "  --exec-stats      print cache/backend counters to stderr\n"
           "  --help            this message\n"
           "\n"
           "Options may also come from BWSIM_BENCHES / BWSIM_THREADS /\n"
-          "BWSIM_SHRINK; flags win. Several experiments in one\n"
-          "invocation share simulations through the SimCache.\n";
+          "BWSIM_SHRINK / BWSIM_CACHE_DIR; flags win. Several\n"
+          "experiments in one invocation share simulations through\n"
+          "the SimCache; with --cache-dir they also share them across\n"
+          "invocations and processes.\n";
 }
 
 void
@@ -276,6 +352,134 @@ printList(std::ostream &os)
         t.newRow().add(e.name).add(e.legacy).add(e.title);
     t.print(os);
 }
+
+#ifdef __unix__
+
+/** Join for --benches= round trips. */
+std::string
+joinCsv(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out += ',';
+        out += items[i];
+    }
+    return out;
+}
+
+/**
+ * The --jobs=N parent: fork N worker invocations of this binary, each
+ * simulating one shard of the key space into a shared cache
+ * directory, then run the experiments in-process against the warm
+ * cache. The merged tables are byte-identical to a single-process
+ * run.
+ */
+int
+runJobs(const std::vector<std::string> &names,
+        exp::ExperimentOptions opts, std::ostream &out, std::ostream &err)
+{
+    char exe[4096];
+    ssize_t len = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (len <= 0) {
+        err << "bwsim: --jobs needs /proc/self/exe to respawn itself\n";
+        return 1;
+    }
+    exe[len] = '\0';
+
+    std::string dir = opts.cacheDir;
+    if (dir.empty()) {
+        char tmpl[] = "/tmp/bwsim-cache-XXXXXX";
+        const char *d = ::mkdtemp(tmpl);
+        if (!d) {
+            err << "bwsim: cannot create a temporary --jobs cache dir\n";
+            return 1;
+        }
+        dir = d;
+        err << "bwsim: --jobs without --cache-dir; results kept in "
+            << dir << "\n";
+    }
+
+    // Divide the thread budget across workers instead of letting each
+    // one claim the whole machine (0 = hardware concurrency).
+    int total_threads =
+        opts.threads > 0
+            ? opts.threads
+            : static_cast<int>(
+                  std::max(1u, std::thread::hardware_concurrency()));
+    int worker_threads = std::max(1, total_threads / opts.jobs);
+
+    std::vector<std::string> common_args;
+    for (const auto &n : names)
+        common_args.push_back(n);
+    if (!opts.benchmarks.empty())
+        common_args.push_back("--benches=" + joinCsv(opts.benchmarks));
+    common_args.push_back(csprintf("--threads=%d", worker_threads));
+    common_args.push_back(csprintf("--shrink=%d", opts.shrink));
+    common_args.push_back("--cache-dir=" + dir);
+    common_args.push_back(csprintf("--shards=%d", opts.jobs));
+
+    std::vector<pid_t> workers;
+    for (int i = 0; i < opts.jobs; ++i) {
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            err << "bwsim: fork failed for shard worker " << i << "\n";
+            for (pid_t w : workers)
+                ::waitpid(w, nullptr, 0);
+            return 1;
+        }
+        if (pid == 0) {
+            // Workers stay quiet on stdout: the parent's merge pass
+            // prints the tables. stderr stays shared for errors. A
+            // worker that cannot detach stdout must die rather than
+            // interleave its tables with the merge pass's.
+            int devnull = ::open("/dev/null", O_WRONLY);
+            if (devnull < 0)
+                ::_exit(125);
+            ::dup2(devnull, STDOUT_FILENO);
+            ::close(devnull);
+            std::vector<std::string> args = common_args;
+            args.push_back(csprintf("--shard-id=%d", i));
+            std::vector<char *> argv;
+            argv.push_back(exe);
+            for (auto &a : args)
+                argv.push_back(const_cast<char *>(a.c_str()));
+            argv.push_back(nullptr);
+            ::execv(exe, argv.data());
+            ::_exit(127);
+        }
+        workers.push_back(pid);
+    }
+
+    bool failed = false;
+    for (pid_t w : workers) {
+        int status = 0;
+        if (::waitpid(w, &status, 0) < 0 || !WIFEXITED(status) ||
+            WEXITSTATUS(status) != 0)
+            failed = true;
+    }
+    if (failed) {
+        err << "bwsim: a --jobs shard worker failed\n";
+        return 1;
+    }
+
+    // Merge pass: every unique pair is warm in the shared directory,
+    // so this simulates nothing and prints in spec order.
+    opts.jobs = 1;
+    opts.shards = 1;
+    opts.shardId = 0;
+    opts.cacheDir = dir;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i > 0)
+            out << "\n";
+        int rc = runExperiment(names[i], opts, out, err);
+        if (rc)
+            return rc;
+    }
+    return 0;
+}
+
+#endif // __unix__
 
 } // anonymous namespace
 
@@ -338,6 +542,7 @@ runExperiment(const std::string &name, const exp::ExperimentOptions &opts,
             << "' (try --list)\n";
         return 1;
     }
+    exp::configureExecution(opts);
     e->run(opts, out);
     return 0;
 }
@@ -353,24 +558,37 @@ int
 cliMain(int argc, const char *const *argv, std::ostream &out,
         std::ostream &err)
 {
+    // --help / --list answer before the environment is consulted, so
+    // a malformed BWSIM_* variable (fatal in fromEnv()) cannot hide
+    // the usage text.
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            printUsage(out);
+            return 0;
+        }
+        if (a == "--list") {
+            printList(out);
+            return 0;
+        }
+    }
+
     exp::ExperimentOptions opts = exp::ExperimentOptions::fromEnv();
     std::vector<std::string> names;
+    bool exec_stats = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         auto valueOf = [&a](const char *flag) {
             return a.substr(std::string(flag).size());
         };
-        auto parseInt = [&err](const char *flag, const std::string &v,
-                               int &dst) {
-            char *end = nullptr;
-            long n = std::strtol(v.c_str(), &end, 10);
-            if (v.empty() || *end != '\0') {
+        auto parseIntFlag = [&err](const char *flag, const std::string &v,
+                                   int &dst) {
+            if (!exp::parseInt(v, dst)) {
                 err << "bwsim: " << flag << " expects an integer, got '"
                     << v << "'\n";
                 return false;
             }
-            dst = static_cast<int>(n);
             return true;
         };
         if (a == "--help" || a == "-h") {
@@ -382,13 +600,36 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
         } else if (a.rfind("--benches=", 0) == 0) {
             opts.benchmarks = exp::splitCsv(valueOf("--benches="));
         } else if (a.rfind("--threads=", 0) == 0) {
-            if (!parseInt("--threads", valueOf("--threads="),
-                          opts.threads))
+            if (!parseIntFlag("--threads", valueOf("--threads="),
+                              opts.threads))
                 return 1;
         } else if (a.rfind("--shrink=", 0) == 0) {
-            if (!parseInt("--shrink", valueOf("--shrink="), opts.shrink))
+            if (!parseIntFlag("--shrink", valueOf("--shrink="),
+                              opts.shrink))
                 return 1;
             opts.shrink = std::max(1, opts.shrink);
+        } else if (a.rfind("--format=", 0) == 0) {
+            if (!exp::parseTableFormat(valueOf("--format="),
+                                       opts.format)) {
+                err << "bwsim: --format expects text, csv or tsv, got '"
+                    << valueOf("--format=") << "'\n";
+                return 1;
+            }
+        } else if (a.rfind("--cache-dir=", 0) == 0) {
+            opts.cacheDir = valueOf("--cache-dir=");
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            if (!parseIntFlag("--jobs", valueOf("--jobs="), opts.jobs))
+                return 1;
+        } else if (a.rfind("--shards=", 0) == 0) {
+            if (!parseIntFlag("--shards", valueOf("--shards="),
+                              opts.shards))
+                return 1;
+        } else if (a.rfind("--shard-id=", 0) == 0) {
+            if (!parseIntFlag("--shard-id", valueOf("--shard-id="),
+                              opts.shardId))
+                return 1;
+        } else if (a == "--exec-stats") {
+            exec_stats = true;
         } else if (!a.empty() && a[0] == '-') {
             err << "bwsim: unknown option '" << a << "'\n";
             printUsage(err);
@@ -396,6 +637,29 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
         } else {
             names.push_back(a);
         }
+    }
+
+    if (opts.shards < 1) {
+        err << "bwsim: --shards must be >= 1\n";
+        return 1;
+    }
+    if (opts.shardId < 0 || opts.shardId >= opts.shards) {
+        err << "bwsim: --shard-id must be in [0, --shards)\n";
+        return 1;
+    }
+    if (opts.jobs < 1) {
+        err << "bwsim: --jobs must be >= 1\n";
+        return 1;
+    }
+    if (opts.jobs > 1 && opts.shards > 1) {
+        err << "bwsim: --jobs (parent fan-out) and --shards/--shard-id "
+               "(worker identity) are mutually exclusive\n";
+        return 1;
+    }
+    if (opts.shards > 1 && opts.cacheDir.empty()) {
+        err << "bwsim: --shards requires --cache-dir (workers publish "
+               "their results there)\n";
+        return 1;
     }
 
     if (names.empty()) {
@@ -409,12 +673,55 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
                 << "' (try --list)\n";
             return 1;
         }
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        if (i > 0)
-            out << "\n";
-        runExperiment(names[i], opts, out, err);
+
+    int rc = 0;
+    if (opts.jobs > 1) {
+#ifdef __unix__
+        rc = runJobs(names, opts, out, err);
+#else
+        err << "bwsim: --jobs is only supported on unix hosts\n";
+        return 1;
+#endif
+    } else if (opts.shards > 1) {
+        // Worker mode: simulate this shard's share into the shared
+        // cache directory; tables come from the merge pass.
+        std::ostringstream sink;
+        for (const auto &n : names) {
+            rc = runExperiment(n, opts, sink, err);
+            if (rc)
+                return rc;
+        }
+        // Diagnostics go to stderr like every other bwsim message;
+        // worker stdout stays empty (tables come from the merge pass).
+        const SimCache &cache = SimCache::global();
+        err << csprintf(
+            "bwsim: shard %d/%d: sims=%llu disk-hits=%llu "
+            "skipped=%llu\n",
+            opts.shardId, opts.shards,
+            static_cast<unsigned long long>(cache.simsRun()),
+            static_cast<unsigned long long>(cache.diskHits()),
+            static_cast<unsigned long long>(cache.skipped()));
+    } else {
+        for (std::size_t i = 0; i < names.size() && rc == 0; ++i) {
+            if (i > 0)
+                out << "\n";
+            rc = runExperiment(names[i], opts, out, err);
+        }
     }
-    return 0;
+
+    if (exec_stats) {
+        const SimCache &cache = SimCache::global();
+        err << csprintf(
+            "bwsim: exec stats: sims=%llu mem-hits=%llu disk-hits=%llu "
+            "disk-stores=%llu skipped=%llu backend=%s\n",
+            static_cast<unsigned long long>(cache.simsRun()),
+            static_cast<unsigned long long>(cache.hits()),
+            static_cast<unsigned long long>(cache.diskHits()),
+            static_cast<unsigned long long>(cache.diskStores()),
+            static_cast<unsigned long long>(cache.skipped()),
+            exp::executionBackend().name().c_str());
+    }
+    return rc;
 }
 
 } // namespace bwsim::cli

@@ -4,13 +4,19 @@
  * registered paper experiment by name.
  *
  *   bwsim fig7 fig8 --benches=bfs,spmv --threads=8 --shrink=4
+ *   bwsim fig10 fig12 --cache-dir=.bwsim-cache --jobs=4
  *   bwsim --list
  *
  * Running several experiments in one invocation shares simulations
  * through the SimCache, so the baseline runs feeding figs. 1/4/5/7/8/9
- * happen once, not once per figure. The legacy bench_* binaries are
- * one-line wrappers over runExperimentFromEnv() and print byte-for-
- * byte the same report as `bwsim <name>`.
+ * happen once, not once per figure. With --cache-dir they are also
+ * shared across invocations (persistent on-disk tier) and across the
+ * worker processes of a sharded sweep: --jobs=N forks N workers
+ * (--shards=N --shard-id=i each) over the shared directory and then
+ * prints merged tables byte-identical to a single-process run. The
+ * legacy bench_* binaries are one-line wrappers over
+ * runExperimentFromEnv() and print byte-for-byte the same report as
+ * `bwsim <name>`.
  */
 
 #ifndef BWSIM_CLI_CLI_HH

@@ -1,0 +1,57 @@
+#include "core/backend.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "core/sim_cache.hh"
+
+namespace bwsim
+{
+
+std::vector<SimResult>
+ThreadedBackend::runAll(const std::vector<RunSpec> &specs, int threads)
+{
+    std::vector<SimResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    if (threads <= 0)
+        threads = defaultThreads;
+    unsigned n_threads = threads > 0
+                             ? static_cast<unsigned>(threads)
+                             : std::max(1u,
+                                        std::thread::hardware_concurrency());
+    n_threads = std::min<unsigned>(n_threads,
+                                   static_cast<unsigned>(specs.size()));
+
+    if (n_threads <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            results[i] = runOne(specs[i].profile, specs[i].config);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            results[i] = runOne(specs[i].profile, specs[i].config);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<SimResult>
+CachingBackend::runAll(const std::vector<RunSpec> &specs, int threads)
+{
+    return cache.runAll(specs, threads);
+}
+
+} // namespace bwsim

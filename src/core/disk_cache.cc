@@ -1,0 +1,159 @@
+#include "core/disk_cache.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/log.hh"
+#include "common/serdes.hh"
+#include "gpu/gpu_config.hh"
+#include "workloads/profile.hh"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace fs = std::filesystem;
+
+namespace bwsim
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0x43535742; // 'BWSC' little-endian
+
+/** Process-wide: several DiskSimCache instances may share one
+ *  directory (and one pid), so per-instance counters could collide on
+ *  the same temp name and interleave their writes. */
+std::atomic<std::uint64_t> tmpSeq{0};
+
+std::uint32_t
+pid()
+{
+#ifdef __unix__
+    return static_cast<std::uint32_t>(::getpid());
+#else
+    return 0;
+#endif
+}
+
+} // anonymous namespace
+
+DiskSimCache::DiskSimCache(std::string dir) : dirPath(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dirPath, ec);
+    if (ec || !fs::is_directory(dirPath))
+        fatal("cache dir '%s' cannot be created: %s", dirPath.c_str(),
+              ec.message().c_str());
+}
+
+std::string
+DiskSimCache::fileNameFor(const std::string &key)
+{
+    return csprintf("sc-%016llx.bin",
+                    static_cast<unsigned long long>(fnv1a64(key)));
+}
+
+bool
+DiskSimCache::load(const std::string &key, SimResult &out) const
+{
+    const fs::path path = fs::path(dirPath) / fileNameFor(key);
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ++missCount;
+        return false;
+    }
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+
+    auto reject = [&]() {
+        ++missCount;
+        ++rejectCount;
+        return false;
+    };
+
+    ByteReader r(data);
+    if (r.u32() != kMagic || r.u32() != formatVersion ||
+        r.u32() != simResultSerdesVersion ||
+        r.u32() != static_cast<std::uint32_t>(sizeof(GpuConfig)) ||
+        r.u32() != static_cast<std::uint32_t>(sizeof(BenchmarkProfile)) ||
+        r.u32() != static_cast<std::uint32_t>(sizeof(SimResult)))
+        return reject();
+    if (r.str() != key || !r.ok())
+        return reject();
+    const std::uint64_t checksum = r.u64();
+    const std::string payload = r.str();
+    if (!r.ok() || r.remaining() != 0 || fnv1a64(payload) != checksum)
+        return reject();
+
+    ByteReader pr(payload);
+    if (!deserializeResult(pr, out) || pr.remaining() != 0)
+        return reject();
+
+    ++hitCount;
+    return true;
+}
+
+bool
+DiskSimCache::store(const std::string &key, const SimResult &r) const
+{
+    ByteWriter payload;
+    serializeResult(payload, r);
+
+    ByteWriter w;
+    w.u32(kMagic);
+    w.u32(formatVersion);
+    w.u32(simResultSerdesVersion);
+    w.u32(static_cast<std::uint32_t>(sizeof(GpuConfig)));
+    w.u32(static_cast<std::uint32_t>(sizeof(BenchmarkProfile)));
+    w.u32(static_cast<std::uint32_t>(sizeof(SimResult)));
+    w.str(key);
+    w.u64(fnv1a64(payload.bytes()));
+    w.str(payload.bytes());
+
+    const fs::path final_path = fs::path(dirPath) / fileNameFor(key);
+    const fs::path tmp_path =
+        fs::path(dirPath) / csprintf("tmp-%u-%llu.part", pid(),
+                                     static_cast<unsigned long long>(
+                                         tmpSeq.fetch_add(1)));
+
+    {
+        std::ofstream tmp(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!tmp) {
+            warn("cache dir '%s': cannot create '%s'", dirPath.c_str(),
+                 tmp_path.filename().c_str());
+            return false;
+        }
+        const std::string &bytes = w.bytes();
+        tmp.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        tmp.flush();
+        if (!tmp) {
+            warn("cache dir '%s': short write to '%s'", dirPath.c_str(),
+                 tmp_path.filename().c_str());
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            return false;
+        }
+    }
+
+    // Atomic publish: readers see either the previous entry or this
+    // one, never a partial file. Last concurrent writer wins, which is
+    // fine -- all writers of a key persist identical bytes.
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        warn("cache dir '%s': rename to '%s' failed: %s", dirPath.c_str(),
+             final_path.filename().c_str(), ec.message().c_str());
+        fs::remove(tmp_path, ec);
+        return false;
+    }
+    ++storeCount;
+    return true;
+}
+
+} // namespace bwsim

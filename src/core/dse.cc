@@ -1,9 +1,9 @@
 #include "core/dse.hh"
 
-#include <atomic>
-#include <thread>
+#include <algorithm>
 
 #include "common/log.hh"
+#include "core/backend.hh"
 #include "gpu/gpu.hh"
 
 namespace bwsim
@@ -19,39 +19,8 @@ runOne(const BenchmarkProfile &profile, const GpuConfig &config)
 std::vector<SimResult>
 runAll(const std::vector<RunSpec> &specs, int threads)
 {
-    std::vector<SimResult> results(specs.size());
-    if (specs.empty())
-        return results;
-
-    unsigned n_threads = threads > 0
-                             ? static_cast<unsigned>(threads)
-                             : std::max(1u,
-                                        std::thread::hardware_concurrency());
-    n_threads = std::min<unsigned>(n_threads,
-                                   static_cast<unsigned>(specs.size()));
-
-    if (n_threads <= 1) {
-        for (std::size_t i = 0; i < specs.size(); ++i)
-            results[i] = runOne(specs[i].profile, specs[i].config);
-        return results;
-    }
-
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            std::size_t i = next.fetch_add(1);
-            if (i >= specs.size())
-                return;
-            results[i] = runOne(specs[i].profile, specs[i].config);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (unsigned t = 0; t < n_threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
-    return results;
+    ThreadedBackend backend;
+    return backend.runAll(specs, threads);
 }
 
 BenchmarkProfile
@@ -59,8 +28,15 @@ shrinkProfile(const BenchmarkProfile &profile, int factor)
 {
     bwsim_assert(factor >= 1, "shrink factor must be >= 1");
     BenchmarkProfile p = profile;
-    p.numCtas = std::max(p.maxCtasPerCore, p.numCtas / factor);
-    p.instsPerWarp = std::max(40, p.instsPerWarp / factor);
+    // Floors: keep at least one resident wave of CTAs and a meaningful
+    // warp length (40, unless the profile was already shorter) -- but
+    // never less than 1 of either and never more than the original
+    // profile, so a factor larger than the CTA or instruction count
+    // clamps instead of producing a zero-work (or inflated) profile.
+    p.numCtas = std::max({1, std::min(p.numCtas, p.maxCtasPerCore),
+                          p.numCtas / factor});
+    p.instsPerWarp = std::max({1, std::min(p.instsPerWarp, 40),
+                               p.instsPerWarp / factor});
     return p;
 }
 

@@ -30,14 +30,15 @@ SimResult runOne(const BenchmarkProfile &profile, const GpuConfig &config);
 
 /**
  * Run every spec, using up to @p threads host threads (0 = hardware
- * concurrency). Results are returned in spec order.
+ * concurrency). Results are returned in spec order. Convenience
+ * wrapper over ThreadedBackend (core/backend.hh).
  */
 std::vector<SimResult> runAll(const std::vector<RunSpec> &specs,
                               int threads = 0);
 
 /**
  * Scale a profile down for quick runs (factor >= 1 divides the CTA
- * count and per-warp instruction count).
+ * count and per-warp instruction count; both clamp to at least 1).
  */
 BenchmarkProfile shrinkProfile(const BenchmarkProfile &profile,
                                int factor);

@@ -1,5 +1,7 @@
 #include "core/experiments.hh"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <sstream>
 
@@ -19,19 +21,64 @@ splitCsv(const std::string &s)
     std::vector<std::string> out;
     std::stringstream ss(s);
     std::string item;
-    while (std::getline(ss, item, ','))
-        if (!item.empty())
-            out.push_back(item);
+    while (std::getline(ss, item, ',')) {
+        const auto first = item.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue; // empty or all-whitespace item
+        const auto last = item.find_last_not_of(" \t");
+        out.push_back(item.substr(first, last - first + 1));
+    }
     return out;
+}
+
+bool
+parseInt(const std::string &s, int &out)
+{
+    // strtol would accept leading whitespace and '+'; strict means
+    // digits with an optional leading '-', nothing else.
+    if (s.empty() || !(s[0] == '-' || (s[0] >= '0' && s[0] <= '9')))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long n = std::strtol(s.c_str(), &end, 10);
+    if (*end != '\0' || errno == ERANGE || n < INT_MIN || n > INT_MAX)
+        return false;
+    out = static_cast<int>(n);
+    return true;
+}
+
+bool
+parseTableFormat(const std::string &s, TableFormat &out)
+{
+    if (s == "text")
+        out = TableFormat::Text;
+    else if (s == "csv")
+        out = TableFormat::Csv;
+    else if (s == "tsv")
+        out = TableFormat::Tsv;
+    else
+        return false;
+    return true;
 }
 
 namespace
 {
 
+/** The swappable process-wide backend (see executionBackend()). */
+std::unique_ptr<ExecutionBackend> &
+backendSlot()
+{
+    static std::unique_ptr<ExecutionBackend> slot =
+        std::make_unique<CachingBackend>(SimCache::global());
+    return slot;
+}
+
 /**
  * Run one config across all benchmarks through the process-wide
- * SimCache: figures sharing (profile, config) pairs -- above all the
- * baseline runs -- simulate them once per driver invocation.
+ * execution backend (by default a CachingBackend over the global
+ * SimCache): figures sharing (profile, config) pairs -- above all the
+ * baseline runs -- simulate them once per driver invocation, and once
+ * per cache directory when a disk tier is attached.
  */
 std::vector<SimResult>
 runConfig(const std::vector<BenchmarkProfile> &profiles,
@@ -41,7 +88,7 @@ runConfig(const std::vector<BenchmarkProfile> &profiles,
     specs.reserve(profiles.size());
     for (const auto &p : profiles)
         specs.push_back({p, cfg});
-    return SimCache::global().runAll(specs, threads);
+    return executionBackend().runAll(specs, threads);
 }
 
 /** Build a speedup-style SeriesTable: rows = benchmarks (+AVG). */
@@ -133,10 +180,17 @@ ExperimentOptions::fromEnv()
     ExperimentOptions o;
     if (const char *b = std::getenv("BWSIM_BENCHES"))
         o.benchmarks = splitCsv(b);
-    if (const char *t = std::getenv("BWSIM_THREADS"))
-        o.threads = std::atoi(t);
-    if (const char *s = std::getenv("BWSIM_SHRINK"))
-        o.shrink = std::max(1, std::atoi(s));
+    if (const char *t = std::getenv("BWSIM_THREADS")) {
+        if (!parseInt(t, o.threads))
+            fatal("BWSIM_THREADS expects an integer, got '%s'", t);
+    }
+    if (const char *s = std::getenv("BWSIM_SHRINK")) {
+        if (!parseInt(s, o.shrink))
+            fatal("BWSIM_SHRINK expects an integer, got '%s'", s);
+        o.shrink = std::max(1, o.shrink);
+    }
+    if (const char *d = std::getenv("BWSIM_CACHE_DIR"))
+        o.cacheDir = d;
     return o;
 }
 
@@ -152,6 +206,30 @@ SeriesTable::at(const std::string &row, const std::string &col) const
     }
     fatal("SeriesTable::at(%s, %s): no such cell", row.c_str(),
           col.c_str());
+}
+
+ExecutionBackend &
+executionBackend()
+{
+    return *backendSlot();
+}
+
+void
+setExecutionBackend(std::unique_ptr<ExecutionBackend> backend)
+{
+    if (backend)
+        backendSlot() = std::move(backend);
+    else
+        backendSlot() =
+            std::make_unique<CachingBackend>(SimCache::global());
+}
+
+void
+configureExecution(const ExperimentOptions &opts)
+{
+    SimCache &cache = SimCache::global();
+    cache.attachDiskTier(opts.cacheDir);
+    cache.setShardPolicy({opts.shards, opts.shardId});
 }
 
 std::vector<BenchmarkProfile>

@@ -9,14 +9,27 @@
 #ifndef BWSIM_CORE_EXPERIMENTS_HH
 #define BWSIM_CORE_EXPERIMENTS_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/backend.hh"
 #include "core/dse.hh"
 #include "stats/table.hh"
 
 namespace bwsim::exp
 {
+
+/** How SeriesTable grids are rendered (the CLI's --format=). */
+enum class TableFormat
+{
+    Text, ///< aligned human-readable columns (default)
+    Csv,  ///< comma-separated, quoted as needed
+    Tsv,  ///< tab-separated
+};
+
+/** Parse "text" / "csv" / "tsv"; false on anything else. */
+bool parseTableFormat(const std::string &s, TableFormat &out);
 
 /** Common knobs for every experiment driver. */
 struct ExperimentOptions
@@ -27,14 +40,34 @@ struct ExperimentOptions
     int threads = 0;
     /** Divide workload size by this factor (quick runs, tests). */
     int shrink = 1;
+    /** Persistent SimCache tier directory; empty = memory only. */
+    std::string cacheDir;
+    /** Sharded-sweep worker identity: simulate only the keys hashing
+     *  to shardId of shards (shards == 1 disables filtering). */
+    int shards = 1;
+    int shardId = 0;
+    /** Parent fan-out: fork this many shard workers (CLI only). */
+    int jobs = 1;
+    /** Table rendering for the CLI emitters. */
+    TableFormat format = TableFormat::Text;
 
-    /** Read BWSIM_BENCHES / BWSIM_THREADS / BWSIM_SHRINK. */
+    /**
+     * Read BWSIM_BENCHES / BWSIM_THREADS / BWSIM_SHRINK /
+     * BWSIM_CACHE_DIR. Malformed integers are rejected with the same
+     * strict fatal() the CLI flags use, never silently defaulted.
+     */
     static ExperimentOptions fromEnv();
 };
 
-/** Split a comma-separated list, dropping empty items (benchmark
- *  subsets from BWSIM_BENCHES or the CLI's --benches=). */
+/** Split a comma-separated list, trimming surrounding whitespace and
+ *  dropping empty items (benchmark subsets from BWSIM_BENCHES or the
+ *  CLI's --benches=). */
 std::vector<std::string> splitCsv(const std::string &s);
+
+/** Strict base-10 integer parse ("42", "-7"); false on empty input,
+ *  trailing garbage, or overflow. Shared by the CLI flags and the
+ *  BWSIM_* environment variables. */
+bool parseInt(const std::string &s, int &out);
 
 /** A printable table plus its numeric payload. */
 struct SeriesTable
@@ -52,6 +85,25 @@ struct SeriesTable
 /** Resolve the benchmark subset of @p opts (with shrink applied). */
 std::vector<BenchmarkProfile>
 selectBenchmarks(const ExperimentOptions &opts);
+
+/**
+ * The process-wide execution backend every experiment runs its
+ * simulations through. Defaults to a CachingBackend over
+ * SimCache::global(); replaceable for tests or alternative execution
+ * strategies.
+ */
+ExecutionBackend &executionBackend();
+
+/** Swap the process-wide backend; null restores the default. */
+void setExecutionBackend(std::unique_ptr<ExecutionBackend> backend);
+
+/**
+ * Apply the execution-related knobs of @p opts to the process-wide
+ * SimCache: attach/detach the on-disk tier (opts.cacheDir) and set
+ * the shard policy (opts.shards / opts.shardId). Idempotent; called
+ * by the CLI before running each batch of experiments.
+ */
+void configureExecution(const ExperimentOptions &opts);
 
 /** One baseline run per benchmark; reused by several figures. */
 std::vector<SimResult> baselineResults(const ExperimentOptions &opts);

@@ -23,22 +23,85 @@ SimCache::run(const BenchmarkProfile &profile, const GpuConfig &config)
     return runAll(spec, 1).front();
 }
 
+void
+SimCache::attachDiskTier(const std::string &dir)
+{
+    // Construct outside the lock: DiskSimCache creates the directory.
+    std::shared_ptr<DiskSimCache> tier;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (dir.empty()) {
+            disk.reset();
+            return;
+        }
+        if (disk && disk->dir() == dir)
+            return;
+    }
+    tier = std::make_shared<DiskSimCache>(dir);
+    std::lock_guard<std::mutex> lock(mu);
+    disk = std::move(tier);
+}
+
+std::shared_ptr<const DiskSimCache>
+SimCache::diskTier() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return disk;
+}
+
+void
+SimCache::setShardPolicy(ShardPolicy policy)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    shard = policy;
+}
+
+ShardPolicy
+SimCache::shardPolicy() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return shard;
+}
+
+void
+SimCache::setSimulationBackend(std::shared_ptr<ExecutionBackend> backend)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    simBackend = std::move(backend);
+}
+
+std::vector<SimResult>
+SimCache::simulate(const std::shared_ptr<ExecutionBackend> &backend,
+                   const std::vector<RunSpec> &specs, int threads)
+{
+    if (backend)
+        return backend->runAll(specs, threads);
+    ThreadedBackend threaded;
+    return threaded.runAll(specs, threads);
+}
+
 std::vector<SimResult>
 SimCache::runAll(const std::vector<RunSpec> &specs, int threads)
 {
     std::vector<SimResult> out(specs.size());
 
-    // Resolve hits, claim the distinct missing keys, and note keys a
-    // concurrent runAll() already claimed (we wait for those instead
-    // of re-simulating).
+    // Resolve memory hits, claim the distinct missing keys, and note
+    // keys a concurrent runAll() already claimed (we wait for those
+    // instead of re-simulating).
     std::vector<std::string> keys(specs.size());
-    std::vector<std::size_t> pending; // spec indices we simulate
+    std::vector<std::size_t> pending; // spec indices resolved below
     std::vector<std::size_t> waiting; // spec indices another call runs
     std::unordered_map<std::string, std::size_t> first_miss;
-    std::vector<RunSpec> to_run;
-    std::vector<std::string> run_keys; // keys of to_run, same order
+    std::vector<RunSpec> claimed;       // specs whose keys we claimed
+    std::vector<std::string> claim_keys; // their keys, same order
+    std::shared_ptr<DiskSimCache> disk_tier;
+    ShardPolicy shard_policy;
+    std::shared_ptr<ExecutionBackend> backend;
     {
         std::lock_guard<std::mutex> lock(mu);
+        disk_tier = disk;
+        shard_policy = shard;
+        backend = simBackend;
         for (std::size_t i = 0; i < specs.size(); ++i) {
             keys[i] = keyOf(specs[i].profile, specs[i].config);
             auto it = results.find(keys[i]);
@@ -56,36 +119,88 @@ SimCache::runAll(const std::vector<RunSpec> &specs, int threads)
                 continue;
             }
             pending.push_back(i);
-            first_miss.emplace(keys[i], to_run.size());
+            first_miss.emplace(keys[i], claimed.size());
             inFlight.insert(keys[i]);
-            to_run.push_back(specs[i]);
-            run_keys.push_back(keys[i]);
+            claimed.push_back(specs[i]);
+            claim_keys.push_back(keys[i]);
         }
-        runCount += to_run.size();
     }
 
-    if (!to_run.empty()) {
-        // Simulate our claimed misses outside the lock, on the
-        // parallel runner. On failure the claims must be released, or
-        // waiters in concurrent runAll() calls would block forever.
-        std::vector<SimResult> fresh;
-        try {
-            fresh = bwsim::runAll(to_run, threads);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mu);
-            for (const auto &k : run_keys)
-                inFlight.erase(k);
-            cv.notify_all();
-            throw;
+    if (!claimed.empty()) {
+        // Resolve our claimed misses outside the lock: disk tier
+        // first, then the shard filter, then the execution backend.
+        std::vector<SimResult> resolved(claimed.size());
+        std::vector<char> have(claimed.size(), 0);
+        std::vector<char> skip(claimed.size(), 0);
+        std::uint64_t disk_hits = 0, disk_stores = 0;
+
+        if (disk_tier) {
+            for (std::size_t r = 0; r < claimed.size(); ++r) {
+                if (disk_tier->load(claim_keys[r], resolved[r])) {
+                    have[r] = 1;
+                    ++disk_hits;
+                }
+            }
+        }
+        if (shard_policy.active()) {
+            // Keys owned by other workers stay unsimulated; the merge
+            // pass finds them in the shared cache directory.
+            for (std::size_t r = 0; r < claimed.size(); ++r)
+                if (!have[r] && !shard_policy.mine(claim_keys[r]))
+                    skip[r] = 1;
+        }
+
+        std::vector<RunSpec> to_sim;
+        std::vector<std::size_t> sim_idx;
+        for (std::size_t r = 0; r < claimed.size(); ++r) {
+            if (!have[r] && !skip[r]) {
+                to_sim.push_back(claimed[r]);
+                sim_idx.push_back(r);
+            }
+        }
+
+        if (!to_sim.empty()) {
+            // On failure the claims must be released, or waiters in
+            // concurrent runAll() calls would block forever.
+            std::vector<SimResult> fresh;
+            try {
+                fresh = simulate(backend, to_sim, threads);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                for (const auto &k : claim_keys)
+                    inFlight.erase(k);
+                cv.notify_all();
+                throw;
+            }
+            for (std::size_t j = 0; j < sim_idx.size(); ++j) {
+                resolved[sim_idx[j]] = fresh[j];
+                have[sim_idx[j]] = 1;
+            }
+            if (disk_tier)
+                for (std::size_t j = 0; j < sim_idx.size(); ++j)
+                    if (disk_tier->store(claim_keys[sim_idx[j]], fresh[j]))
+                        ++disk_stores;
         }
 
         std::lock_guard<std::mutex> lock(mu);
-        for (std::size_t r = 0; r < to_run.size(); ++r) {
-            results.emplace(run_keys[r], fresh[r]);
-            inFlight.erase(run_keys[r]);
+        for (std::size_t r = 0; r < claimed.size(); ++r) {
+            if (have[r]) {
+                results.emplace(claim_keys[r], resolved[r]);
+                skippedKeys.erase(claim_keys[r]);
+            } else {
+                skippedKeys.insert(claim_keys[r]);
+            }
+            inFlight.erase(claim_keys[r]);
         }
-        for (std::size_t i : pending)
-            out[i] = fresh[first_miss.at(keys[i])];
+        runCount += to_sim.size();
+        diskHitCount += disk_hits;
+        diskStoreCount += disk_stores;
+        for (std::size_t i : pending) {
+            std::size_t r = first_miss.at(keys[i]);
+            if (have[r])
+                out[i] = resolved[r];
+            // else: skipped by the shard filter, placeholder stays
+        }
         cv.notify_all();
     }
 
@@ -102,22 +217,39 @@ SimCache::runAll(const std::vector<RunSpec> &specs, int threads)
                 ++hitCount;
                 continue;
             }
-            // The producing call failed or clear() dropped the result
-            // before we woke: claim the key and simulate it ourselves.
+            // The producing call failed, skipped the key for another
+            // shard, or clear() dropped the result before we woke:
+            // resolve it ourselves. Shard-foreign keys stay skipped
+            // (the producer already counted them; see skipped()).
+            if (shard.active() && !shard.mine(keys[i]))
+                continue;
             inFlight.insert(keys[i]);
-            ++runCount;
             lock.unlock();
             SimResult r;
-            try {
-                r = bwsim::runAll({specs[i]}, 1).front();
-            } catch (...) {
-                lock.lock();
-                inFlight.erase(keys[i]);
-                cv.notify_all();
-                throw;
+            bool from_disk =
+                disk_tier && disk_tier->load(keys[i], r);
+            if (!from_disk) {
+                try {
+                    r = simulate(backend, {specs[i]}, 1).front();
+                } catch (...) {
+                    lock.lock();
+                    inFlight.erase(keys[i]);
+                    cv.notify_all();
+                    throw;
+                }
+                if (disk_tier && disk_tier->store(keys[i], r)) {
+                    lock.lock();
+                    ++diskStoreCount;
+                    lock.unlock();
+                }
             }
             lock.lock();
+            if (from_disk)
+                ++diskHitCount;
+            else
+                ++runCount;
             results.emplace(keys[i], r);
+            skippedKeys.erase(keys[i]);
             inFlight.erase(keys[i]);
             out[i] = r;
             cv.notify_all();
@@ -133,6 +265,9 @@ SimCache::clear()
     results.clear();
     hitCount = 0;
     runCount = 0;
+    diskHitCount = 0;
+    diskStoreCount = 0;
+    skippedKeys.clear();
     // inFlight keys stay claimed by their active producers; wake
     // waiters so none sleeps through a result dropped before it woke.
     cv.notify_all();
@@ -150,6 +285,27 @@ SimCache::simsRun() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return runCount;
+}
+
+std::uint64_t
+SimCache::diskHits() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return diskHitCount;
+}
+
+std::uint64_t
+SimCache::diskStores() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return diskStoreCount;
+}
+
+std::uint64_t
+SimCache::skipped() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return skippedKeys.size();
 }
 
 std::size_t

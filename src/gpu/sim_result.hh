@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cache/cache.hh"
+#include "common/serdes.hh"
 #include "smcore/stall.hh"
 #include "stats/occupancy_hist.hh"
 
@@ -86,6 +87,23 @@ struct SimResult
         return perf / base.perf;
     }
 };
+
+/**
+ * Version of the serialized SimResult layout below. Bump it whenever
+ * serializeResult()/deserializeResult() change shape: the on-disk
+ * SimCache tier embeds it in every file header and rejects entries
+ * written by a different layout.
+ */
+constexpr std::uint32_t simResultSerdesVersion = 1;
+
+/** Append every SimResult field to @p w (see common/serdes.hh). */
+void serializeResult(ByteWriter &w, const SimResult &r);
+
+/**
+ * Inverse of serializeResult(). Returns false -- leaving @p out in an
+ * unspecified state -- on truncated input or array-size mismatches.
+ */
+bool deserializeResult(ByteReader &r, SimResult &out);
 
 } // namespace bwsim
 

@@ -109,11 +109,33 @@ TextTable::printCsv(std::ostream &os) const
         out += "\"";
         return out;
     };
+    printDelimited(os, ',', quote);
+}
+
+void
+TextTable::printTsv(std::ostream &os) const
+{
+    // TSV has no quoting convention; squash the delimiters instead.
+    auto sanitize = [](const std::string &s) {
+        std::string out = s;
+        for (char &ch : out)
+            if (ch == '\t' || ch == '\n' || ch == '\r')
+                ch = ' ';
+        return out;
+    };
+    printDelimited(os, '\t', sanitize);
+}
+
+void
+TextTable::printDelimited(
+    std::ostream &os, char delim,
+    const std::function<std::string(const std::string &)> &escape) const
+{
     auto emit_row = [&](const std::vector<std::string> &row) {
         for (std::size_t c = 0; c < row.size(); ++c) {
-            os << quote(row[c]);
+            os << escape(row[c]);
             if (c + 1 < row.size())
-                os << ",";
+                os << delim;
         }
         os << "\n";
     };

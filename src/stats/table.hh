@@ -7,6 +7,7 @@
 #ifndef BWSIM_STATS_TABLE_HH
 #define BWSIM_STATS_TABLE_HH
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -44,7 +45,18 @@ class TextTable
     /** Render as CSV (no alignment, comma-separated, quoted as needed). */
     void printCsv(std::ostream &os) const;
 
+    /** Render as TSV (tab-separated; tabs/newlines in cells become
+     *  spaces). The machine-readable grid behind the CLI's
+     *  --format=tsv, built to be diffed and plotted. */
+    void printTsv(std::ostream &os) const;
+
   private:
+    /** Shared CSV/TSV emitter; @p escape transforms each cell. */
+    void printDelimited(
+        std::ostream &os, char delim,
+        const std::function<std::string(const std::string &)> &escape)
+        const;
+
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;
 };

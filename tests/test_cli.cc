@@ -123,3 +123,77 @@ TEST(Cli, MultipleExperimentsSeparatedByBlankLine)
     EXPECT_NE(t3, std::string::npos);
     EXPECT_LT(t1, t3);
 }
+
+TEST(Cli, FormatCsvEmitsMachineReadableGrid)
+{
+    std::string out, err;
+    ASSERT_EQ(runCli({"tab3", "--format=csv"}, out, err), 0);
+    // Headings become comment lines; the grid itself is plain CSV.
+    EXPECT_EQ(out.rfind("# === Table III", 0), 0u);
+    EXPECT_NE(out.find("parameter,type,baseline,scaled(4x),"
+                       "cost-effective\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("DRAM scheduler queue,=,"), std::string::npos);
+}
+
+TEST(Cli, FormatTsvEmitsTabs)
+{
+    std::string out, err;
+    ASSERT_EQ(runCli({"tab1", "--format=tsv"}, out, err), 0);
+    EXPECT_NE(out.find("parameter\tvalue\n"), std::string::npos);
+}
+
+TEST(Cli, FormatTextIsDefaultAndExplicit)
+{
+    std::string flagged, plain, err;
+    ASSERT_EQ(runCli({"tab3", "--format=text"}, flagged, err), 0);
+    ASSERT_EQ(runCli({"tab3"}, plain, err), 0);
+    EXPECT_EQ(flagged, plain);
+}
+
+TEST(Cli, UnknownFormatRejected)
+{
+    std::string out, err;
+    EXPECT_NE(runCli({"tab1", "--format=xml"}, out, err), 0);
+    EXPECT_NE(err.find("--format"), std::string::npos);
+}
+
+TEST(Cli, ShardOptionsValidated)
+{
+    std::string out, err;
+    // --shards without a cache dir: the workers' results would be
+    // unreachable.
+    EXPECT_NE(runCli({"tab1", "--shards=2"}, out, err), 0);
+    EXPECT_NE(err.find("--cache-dir"), std::string::npos);
+
+    err.clear();
+    EXPECT_NE(runCli({"tab1", "--shards=0"}, out, err), 0);
+    EXPECT_NE(err.find("--shards"), std::string::npos);
+
+    err.clear();
+    EXPECT_NE(runCli({"tab1", "--shards=2", "--shard-id=2",
+                      "--cache-dir=/tmp/x"},
+                     out, err),
+              0);
+    EXPECT_NE(err.find("--shard-id"), std::string::npos);
+
+    err.clear();
+    EXPECT_NE(runCli({"tab1", "--jobs=2", "--shards=2",
+                      "--cache-dir=/tmp/x"},
+                     out, err),
+              0);
+    EXPECT_NE(err.find("mutually exclusive"), std::string::npos);
+
+    err.clear();
+    EXPECT_NE(runCli({"tab1", "--jobs=0"}, out, err), 0);
+    EXPECT_NE(err.find("--jobs"), std::string::npos);
+}
+
+TEST(Cli, UsageMentionsTheExecutionFlags)
+{
+    std::string out, err;
+    ASSERT_EQ(runCli({"--help"}, out, err), 0);
+    for (const char *flag : {"--cache-dir", "--jobs", "--shards",
+                             "--shard-id", "--format", "--exec-stats"})
+        EXPECT_NE(out.find(flag), std::string::npos) << flag;
+}

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "core/dse.hh"
 #include "core/experiments.hh"
 
@@ -151,4 +154,115 @@ TEST(Experiments, StaticTables)
     EXPECT_EQ(area.rowNames.size(), 3u);
     EXPECT_NEAR(area.at("16+48", "die-overhead%"), 1.1, 0.2);
     EXPECT_NEAR(area.at("16+68", "die-overhead%"), 1.6, 0.2);
+}
+
+TEST(Dse, ShrinkProfileClampsDegenerateProfilesToNonZeroWork)
+{
+    // A factor larger than the CTA or instruction count must clamp,
+    // never produce a zero-work profile (regression: a profile with
+    // no per-core CTA floor used to shrink to zero CTAs).
+    BenchmarkProfile p;
+    p.name = "degenerate";
+    p.numCtas = 4;
+    p.maxCtasPerCore = 0;
+    p.instsPerWarp = 10;
+    BenchmarkProfile s = shrinkProfile(p, 1000);
+    EXPECT_EQ(s.numCtas, 1);
+    EXPECT_GE(s.instsPerWarp, 1);
+    // Shrinking never grows a profile (the old 40-instruction floor
+    // inflated short-kernel profiles).
+    EXPECT_LE(s.instsPerWarp, p.instsPerWarp);
+    EXPECT_LE(s.numCtas, std::max(p.numCtas, 1));
+
+    // Nor does the per-core CTA floor: a profile with fewer CTAs than
+    // maxCtasPerCore must not be inflated up to the floor.
+    BenchmarkProfile small;
+    small.numCtas = 2;
+    small.maxCtasPerCore = 8;
+    small.instsPerWarp = 100;
+    EXPECT_EQ(shrinkProfile(small, 1).numCtas, 2);
+    EXPECT_EQ(shrinkProfile(small, 100).numCtas, 2);
+}
+
+TEST(Experiments, SplitCsvTrimsWhitespaceAndDropsEmpties)
+{
+    auto v = splitCsv(" mm , lbm\t,, \t ,sc");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "mm");
+    EXPECT_EQ(v[1], "lbm");
+    EXPECT_EQ(v[2], "sc");
+    EXPECT_TRUE(splitCsv("").empty());
+    EXPECT_TRUE(splitCsv(" , ,").empty());
+}
+
+TEST(Experiments, ParseIntIsStrict)
+{
+    int v = -1;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("4x", v));
+    EXPECT_FALSE(parseInt("x4", v));
+    EXPECT_FALSE(parseInt("4.5", v));
+    EXPECT_FALSE(parseInt("99999999999999999999", v));
+    // Stricter than strtol: no leading whitespace, '+', or bare '-'.
+    EXPECT_FALSE(parseInt(" 4", v));
+    EXPECT_FALSE(parseInt("+4", v));
+    EXPECT_FALSE(parseInt("4 ", v));
+    EXPECT_FALSE(parseInt("-", v));
+}
+
+TEST(Experiments, FromEnvRejectsMalformedIntegers)
+{
+    // The env path must fail with the CLI's strict error, not fall
+    // back to a silent default (BWSIM_THREADS=abc used to mean 0).
+    EXPECT_EXIT(
+        {
+            setenv("BWSIM_THREADS", "abc", 1);
+            (void)ExperimentOptions::fromEnv();
+            ::exit(0);
+        },
+        ::testing::ExitedWithCode(1), "BWSIM_THREADS expects an integer");
+    EXPECT_EXIT(
+        {
+            setenv("BWSIM_SHRINK", "4x", 1);
+            (void)ExperimentOptions::fromEnv();
+            ::exit(0);
+        },
+        ::testing::ExitedWithCode(1), "BWSIM_SHRINK expects an integer");
+}
+
+TEST(Experiments, FromEnvReadsValidValues)
+{
+    setenv("BWSIM_BENCHES", " mm , sc ", 1);
+    setenv("BWSIM_THREADS", "3", 1);
+    setenv("BWSIM_SHRINK", "-2", 1); // valid integer: clamps like the CLI
+    setenv("BWSIM_CACHE_DIR", "/tmp/bwsim-env-cache", 1);
+    ExperimentOptions o = ExperimentOptions::fromEnv();
+    unsetenv("BWSIM_BENCHES");
+    unsetenv("BWSIM_THREADS");
+    unsetenv("BWSIM_SHRINK");
+    unsetenv("BWSIM_CACHE_DIR");
+
+    ASSERT_EQ(o.benchmarks.size(), 2u);
+    EXPECT_EQ(o.benchmarks[0], "mm");
+    EXPECT_EQ(o.benchmarks[1], "sc");
+    EXPECT_EQ(o.threads, 3);
+    EXPECT_EQ(o.shrink, 1);
+    EXPECT_EQ(o.cacheDir, "/tmp/bwsim-env-cache");
+}
+
+TEST(Experiments, ParseTableFormat)
+{
+    TableFormat f = TableFormat::Text;
+    EXPECT_TRUE(parseTableFormat("csv", f));
+    EXPECT_EQ(f, TableFormat::Csv);
+    EXPECT_TRUE(parseTableFormat("tsv", f));
+    EXPECT_EQ(f, TableFormat::Tsv);
+    EXPECT_TRUE(parseTableFormat("text", f));
+    EXPECT_EQ(f, TableFormat::Text);
+    EXPECT_FALSE(parseTableFormat("json", f));
+    EXPECT_FALSE(parseTableFormat("", f));
 }

@@ -150,3 +150,22 @@ TEST(TextTable, CsvQuoting)
     EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
     EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
 }
+
+TEST(TextTable, TsvEmitsTabSeparatedGrid)
+{
+    TextTable t({"benchmark", "ipc"});
+    t.newRow().add("mm").addNum(1.25, 2);
+    t.newRow().add("nn").addNum(0.75, 2);
+    std::ostringstream os;
+    t.printTsv(os);
+    EXPECT_EQ(os.str(), "benchmark\tipc\nmm\t1.25\nnn\t0.75\n");
+}
+
+TEST(TextTable, TsvSanitizesDelimitersInsideCells)
+{
+    TextTable t({"a", "b"});
+    t.newRow().add("with\ttab").add("with\nnewline");
+    std::ostringstream os;
+    t.printTsv(os);
+    EXPECT_EQ(os.str(), "a\tb\nwith tab\twith newline\n");
+}
