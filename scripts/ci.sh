@@ -23,7 +23,11 @@ run_tests() {
 #  1. a warm --cache-dir invocation must simulate nothing (the run
 #     counter printed by --exec-stats must say sims=0);
 #  2. a sharded --jobs sweep must print tables byte-identical to the
-#     single-process run.
+#     single-process run;
+#  3. a --backend=queue sweep drained by two bwsim --worker processes
+#     must also print byte-identical tables;
+#  4. --cache-stats must report the warm entries and --cache-max-mb=0
+#     must evict them all.
 smoke() {
     smoke_tmp=$(mktemp -d)
     trap 'rm -rf "$smoke_tmp"' EXIT
@@ -51,6 +55,62 @@ smoke() {
     cmp "$smoke_tmp/single.out" "$smoke_tmp/jobs.out" || {
         echo "smoke FAIL: --jobs=2 tables differ from the" \
              "single-process run" >&2
+        exit 1
+    }
+
+    echo "smoke: --backend=queue parity with 2 workers"
+    spool="$smoke_tmp/spool"
+    ./build/bwsim --worker --spool-dir="$spool" \
+        2> "$smoke_tmp/worker1.err" &
+    worker1=$!
+    ./build/bwsim --worker --spool-dir="$spool" \
+        2> "$smoke_tmp/worker2.err" &
+    worker2=$!
+    # Bounded: if both workers die, the parent would poll forever --
+    # better a fast diagnosable failure than a hung CI job.
+    queue_rc=0
+    timeout 300 \
+        ./build/bwsim $bwsim_args --backend=queue --spool-dir="$spool" \
+        > "$smoke_tmp/queue.out" 2> "$smoke_tmp/queue.err" \
+        || queue_rc=$?
+    # Stop sentinel: workers drain the queue, then exit. Wait one pid
+    # at a time: `wait p1 p2` reports only the last operand's status,
+    # which would mask a crash of the first worker.
+    : > "$spool/stop"
+    worker_fail=0
+    wait "$worker1" || worker_fail=1
+    wait "$worker2" || worker_fail=1
+    [ "$worker_fail" -eq 0 ] || {
+        echo "smoke FAIL: a queue worker exited non-zero" >&2
+        exit 1
+    }
+    [ "$queue_rc" -eq 0 ] || {
+        echo "smoke FAIL: the --backend=queue parent failed:" >&2
+        cat "$smoke_tmp/queue.err" >&2
+        exit 1
+    }
+    cmp "$smoke_tmp/single.out" "$smoke_tmp/queue.out" || {
+        echo "smoke FAIL: --backend=queue tables differ from the" \
+             "single-process run" >&2
+        exit 1
+    }
+
+    echo "smoke: --cache-stats and --cache-max-mb eviction"
+    ./build/bwsim --cache-stats --cache-dir="$smoke_tmp/cache" \
+        > "$smoke_tmp/stats.out"
+    grep -q 'baseline' "$smoke_tmp/stats.out" || {
+        echo "smoke FAIL: --cache-stats did not report the warm" \
+             "baseline entries:" >&2
+        cat "$smoke_tmp/stats.out" >&2
+        exit 1
+    }
+    ./build/bwsim --cache-max-mb=0 --cache-dir="$smoke_tmp/cache" \
+        2> "$smoke_tmp/evict.err"
+    ./build/bwsim --cache-stats --cache-dir="$smoke_tmp/cache" \
+        > "$smoke_tmp/stats2.out"
+    grep -q ': 0 entries' "$smoke_tmp/stats2.out" || {
+        echo "smoke FAIL: --cache-max-mb=0 left entries behind:" >&2
+        cat "$smoke_tmp/stats2.out" >&2
         exit 1
     }
     echo "smoke: OK"

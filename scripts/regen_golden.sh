@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Rebless the golden TSV snapshots under tests/golden/ after an
+# intentional behaviour change: rebuilds test_golden and reruns it in
+# regeneration mode (BWSIM_REGEN_GOLDEN=1), which rewrites the
+# snapshots instead of diffing against them. Review the resulting
+# diff before committing -- every changed byte is a change in
+# simulator behaviour.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)" --target test_golden
+
+BWSIM_REGEN_GOLDEN=1 ./build/test_golden
+
+echo "regenerated golden snapshots:"
+git status --short tests/golden || true

@@ -8,8 +8,10 @@
 
 #include "common/log.hh"
 #include "core/cost_model.hh"
+#include "core/disk_cache.hh"
 #include "core/dse.hh"
 #include "core/sim_cache.hh"
+#include "core/work_queue.hh"
 #include "stats/table.hh"
 
 #ifdef __unix__
@@ -334,14 +336,31 @@ printUsage(std::ostream &os)
           "  --shard-id=I      only this worker's share of the keys\n"
           "                    (requires --cache-dir; no tables are\n"
           "                    printed, run the merge pass for those)\n"
+          "  --backend=B       how cache misses execute: threads\n"
+          "                    (in-process pool, default), jobs\n"
+          "                    (forked shard workers, needs --jobs),\n"
+          "                    queue (spool-dir work queue drained by\n"
+          "                    bwsim --worker processes on any hosts\n"
+          "                    sharing the filesystem)\n"
+          "  --spool-dir=DIR   work-queue spool directory\n"
+          "                    (--backend=queue and --worker)\n"
+          "  --job-timeout=S   reclaim a claimed-but-abandoned spool\n"
+          "                    job after S seconds (default 300)\n"
+          "  --worker          run as a work-queue worker: claim jobs\n"
+          "                    from --spool-dir until DIR/stop exists\n"
+          "                    and the queue is drained\n"
+          "  --cache-stats     print --cache-dir entry count, bytes\n"
+          "                    and per-config breakdown\n"
+          "  --cache-max-mb=N  evict oldest --cache-dir entries until\n"
+          "                    the directory fits in N MB\n"
           "  --exec-stats      print cache/backend counters to stderr\n"
           "  --help            this message\n"
           "\n"
           "Options may also come from BWSIM_BENCHES / BWSIM_THREADS /\n"
-          "BWSIM_SHRINK / BWSIM_CACHE_DIR; flags win. Several\n"
-          "experiments in one invocation share simulations through\n"
-          "the SimCache; with --cache-dir they also share them across\n"
-          "invocations and processes.\n";
+          "BWSIM_SHRINK / BWSIM_CACHE_DIR / BWSIM_SPOOL_DIR; flags\n"
+          "win. Several experiments in one invocation share\n"
+          "simulations through the SimCache; with --cache-dir they\n"
+          "also share them across invocations and processes.\n";
 }
 
 void
@@ -351,6 +370,57 @@ printList(std::ostream &os)
     for (const auto &e : experimentRegistry())
         t.newRow().add(e.name).add(e.legacy).add(e.title);
     t.print(os);
+}
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+/** The --cache-stats report: totals plus the per-config breakdown. */
+void
+printCacheStats(const std::string &dir, std::ostream &os)
+{
+    CacheDirStats s = scanCacheDir(dir);
+    os << csprintf("cache dir %s: %llu entries, %.2f MB", dir.c_str(),
+                   static_cast<unsigned long long>(s.entries),
+                   double(s.bytes) / kMB);
+    if (s.unreadable)
+        os << csprintf(" (+%llu unreadable files, %.2f MB)",
+                       static_cast<unsigned long long>(s.unreadable),
+                       double(s.unreadableBytes) / kMB);
+    if (s.tempFiles)
+        os << csprintf(" (+%llu .part temp files, %.2f MB)",
+                       static_cast<unsigned long long>(s.tempFiles),
+                       double(s.tempBytes) / kMB);
+    os << "\n";
+    if (s.byConfig.empty())
+        return;
+    stats::TextTable t({"config", "entries", "MB"});
+    for (const auto &g : s.byConfig) {
+        t.newRow().add(g.config);
+        t.addInt(static_cast<long long>(g.entries));
+        t.addNum(double(g.bytes) / kMB, 2);
+    }
+    t.print(os);
+}
+
+/** The --worker process mode: drain --spool-dir until stopped. */
+int
+runWorkerMode(const exp::ExperimentOptions &opts, std::ostream &err)
+{
+    SimCache &cache = SimCache::global();
+    cache.attachDiskTier(opts.cacheDir);
+    WorkQueueConfig cfg;
+    cfg.spoolDir = opts.spoolDir;
+    cfg.jobTimeoutSec = static_cast<double>(opts.jobTimeoutSec);
+    WorkerStats stats = runWorker(cfg, cache);
+    err << csprintf(
+        "bwsim: worker on '%s' done: jobs=%llu corrupt=%llu "
+        "sims=%llu disk-hits=%llu\n",
+        opts.spoolDir.c_str(),
+        static_cast<unsigned long long>(stats.jobsProcessed),
+        static_cast<unsigned long long>(stats.corruptJobs),
+        static_cast<unsigned long long>(cache.simsRun()),
+        static_cast<unsigned long long>(cache.diskHits()));
+    return 0;
 }
 
 #ifdef __unix__
@@ -576,6 +646,10 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
     exp::ExperimentOptions opts = exp::ExperimentOptions::fromEnv();
     std::vector<std::string> names;
     bool exec_stats = false;
+    bool backend_flag = false;
+    bool worker = false;
+    bool cache_stats = false;
+    int cache_max_mb = -1;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -628,6 +702,28 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
             if (!parseIntFlag("--shard-id", valueOf("--shard-id="),
                               opts.shardId))
                 return 1;
+        } else if (a.rfind("--backend=", 0) == 0) {
+            opts.backend = valueOf("--backend=");
+            backend_flag = true;
+        } else if (a.rfind("--spool-dir=", 0) == 0) {
+            opts.spoolDir = valueOf("--spool-dir=");
+        } else if (a.rfind("--job-timeout=", 0) == 0) {
+            if (!parseIntFlag("--job-timeout",
+                              valueOf("--job-timeout="),
+                              opts.jobTimeoutSec))
+                return 1;
+        } else if (a == "--worker") {
+            worker = true;
+        } else if (a == "--cache-stats") {
+            cache_stats = true;
+        } else if (a.rfind("--cache-max-mb=", 0) == 0) {
+            if (!parseIntFlag("--cache-max-mb",
+                              valueOf("--cache-max-mb="), cache_max_mb))
+                return 1;
+            if (cache_max_mb < 0) {
+                err << "bwsim: --cache-max-mb must be >= 0\n";
+                return 1;
+            }
         } else if (a == "--exec-stats") {
             exec_stats = true;
         } else if (!a.empty() && a[0] == '-') {
@@ -661,8 +757,57 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
                "their results there)\n";
         return 1;
     }
+    if (opts.backend != "threads" && opts.backend != "jobs" &&
+        opts.backend != "queue") {
+        err << "bwsim: --backend expects threads, jobs or queue, got '"
+            << opts.backend << "'\n";
+        return 1;
+    }
+    if (opts.backend == "queue") {
+        if (opts.spoolDir.empty()) {
+            err << "bwsim: --backend=queue requires --spool-dir\n";
+            return 1;
+        }
+        if (opts.jobs > 1 || opts.shards > 1) {
+            err << "bwsim: --backend=queue is incompatible with "
+                   "--jobs/--shards (workers come from bwsim "
+                   "--worker)\n";
+            return 1;
+        }
+    }
+    if (opts.backend == "jobs" && opts.jobs < 2) {
+        err << "bwsim: --backend=jobs requires --jobs=N with N >= 2\n";
+        return 1;
+    }
+    if (backend_flag && opts.backend == "threads" && opts.jobs > 1) {
+        err << "bwsim: --backend=threads contradicts --jobs=N (the "
+               "fork fan-out is --backend=jobs)\n";
+        return 1;
+    }
+    if (opts.jobTimeoutSec < 1) {
+        err << "bwsim: --job-timeout must be >= 1\n";
+        return 1;
+    }
+    if ((cache_stats || cache_max_mb >= 0) && opts.cacheDir.empty()) {
+        err << "bwsim: --cache-stats/--cache-max-mb need --cache-dir\n";
+        return 1;
+    }
 
-    if (names.empty()) {
+    if (worker) {
+        if (!names.empty()) {
+            err << "bwsim: --worker takes no experiment names (jobs "
+                   "come from the spool)\n";
+            return 1;
+        }
+        if (opts.spoolDir.empty()) {
+            err << "bwsim: --worker requires --spool-dir\n";
+            return 1;
+        }
+        return runWorkerMode(opts, err);
+    }
+
+    const bool housekeeping = cache_stats || cache_max_mb >= 0;
+    if (names.empty() && !housekeeping) {
         err << "bwsim: no experiment named\n";
         printUsage(err);
         return 1;
@@ -675,7 +820,10 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
         }
 
     int rc = 0;
-    if (opts.jobs > 1) {
+    if (names.empty()) {
+        // Housekeeping-only invocation (--cache-stats / --cache-max-mb
+        // with no experiments); handled below.
+    } else if (opts.jobs > 1) {
 #ifdef __unix__
         rc = runJobs(names, opts, out, err);
 #else
@@ -707,6 +855,22 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
                 out << "\n";
             rc = runExperiment(names[i], opts, out, err);
         }
+    }
+
+    if (rc == 0 && cache_stats)
+        printCacheStats(opts.cacheDir, out);
+    if (rc == 0 && cache_max_mb >= 0) {
+        EvictionReport rep = evictCacheDir(
+            opts.cacheDir,
+            static_cast<std::uint64_t>(cache_max_mb) * 1024 * 1024);
+        err << csprintf(
+            "bwsim: cache dir %s: evicted %llu entries (%.2f MB), "
+            "kept %llu (%.2f MB <= %d MB budget)\n",
+            opts.cacheDir.c_str(),
+            static_cast<unsigned long long>(rep.filesEvicted),
+            double(rep.bytesEvicted) / kMB,
+            static_cast<unsigned long long>(rep.filesKept),
+            double(rep.bytesKept) / kMB, cache_max_mb);
     }
 
     if (exec_stats) {

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Crash-safe file publishing shared by every on-disk byte format:
+ * the persistent SimCache tier and the work-queue job/reply spool.
+ * Writes go to a unique tmp-<pid>-<seq>.part file in the target
+ * directory, then rename(2) into place, so readers observe either
+ * the previous file or the complete new one -- never a partial
+ * write. Keeping one implementation means a durability fix (say, an
+ * fsync before the rename) reaches every format at once.
+ *
+ * A crashed writer can orphan a .part file; cache-dir housekeeping
+ * (core/disk_cache.cc) sweeps stale ones, keyed off this naming
+ * convention.
+ */
+
+#ifndef BWSIM_COMMON_ATOMIC_FILE_HH
+#define BWSIM_COMMON_ATOMIC_FILE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "common/log.hh"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace bwsim
+{
+
+/** Leftover temp file from a crashed atomic write? */
+inline bool
+isTempFileName(const std::string &name)
+{
+    return name.size() > 5 &&
+           name.compare(name.size() - 5, 5, ".part") == 0;
+}
+
+/** Whole file as bytes; false when unreadable (e.g. concurrently
+ *  renamed away). */
+inline bool
+readFileBytes(const std::filesystem::path &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+    return true;
+}
+
+/**
+ * Publish @p bytes at @p final_path via write-then-rename. Returns
+ * false (leaving no temp debris it could still remove) when the
+ * filesystem refuses; callers decide whether that is warn- or
+ * fatal-worthy.
+ */
+inline bool
+atomicWriteFile(const std::filesystem::path &final_path,
+                const std::string &bytes)
+{
+    // Process-wide sequence: several writers may share one directory
+    // (and one pid), so per-call uniqueness needs a global counter.
+    static std::atomic<std::uint64_t> tmp_seq{0};
+#ifdef __unix__
+    const std::uint32_t pid = static_cast<std::uint32_t>(::getpid());
+#else
+    const std::uint32_t pid = 0;
+#endif
+    const std::filesystem::path tmp_path =
+        final_path.parent_path() /
+        csprintf("tmp-%u-%llu.part", pid,
+                 static_cast<unsigned long long>(tmp_seq.fetch_add(1)));
+    {
+        std::ofstream tmp(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!tmp)
+            return false;
+        tmp.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        tmp.flush();
+        if (!tmp) {
+            std::error_code ec;
+            std::filesystem::remove(tmp_path, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp_path, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace bwsim
+
+#endif // BWSIM_COMMON_ATOMIC_FILE_HH

@@ -179,6 +179,44 @@ class ByteReader
     bool fail = false;
 };
 
+/**
+ * Wrap @p payload in a self-validating envelope: magic, format
+ * version, FNV-1a checksum of the payload, then the length-prefixed
+ * payload itself. The shape mirrors the on-disk SimCache header, and
+ * the work-queue job/reply files use it directly.
+ */
+inline std::string
+frameBlob(std::uint32_t magic, std::uint32_t version,
+          const std::string &payload)
+{
+    ByteWriter w;
+    w.u32(magic);
+    w.u32(version);
+    w.u64(fnv1a64(payload));
+    w.str(payload);
+    return std::move(w).take();
+}
+
+/**
+ * Inverse of frameBlob(). True and fill @p payload_out only when the
+ * magic and version match, the checksum validates, and no bytes
+ * trail the envelope; any truncation or bit flip is a clean false.
+ */
+inline bool
+unframeBlob(std::uint32_t magic, std::uint32_t version,
+            const std::string &data, std::string &payload_out)
+{
+    ByteReader r(data);
+    if (r.u32() != magic || r.u32() != version)
+        return false;
+    const std::uint64_t checksum = r.u64();
+    std::string payload = r.str();
+    if (!r.ok() || r.remaining() != 0 || fnv1a64(payload) != checksum)
+        return false;
+    payload_out = std::move(payload);
+    return true;
+}
+
 } // namespace bwsim
 
 #endif // BWSIM_COMMON_SERDES_HH

@@ -9,6 +9,7 @@
 #include "common/log.hh"
 #include "core/cost_model.hh"
 #include "core/sim_cache.hh"
+#include "core/work_queue.hh"
 #include "smcore/stall.hh"
 #include "stats/occupancy_hist.hh"
 
@@ -191,6 +192,8 @@ ExperimentOptions::fromEnv()
     }
     if (const char *d = std::getenv("BWSIM_CACHE_DIR"))
         o.cacheDir = d;
+    if (const char *s = std::getenv("BWSIM_SPOOL_DIR"))
+        o.spoolDir = s;
     return o;
 }
 
@@ -230,6 +233,19 @@ configureExecution(const ExperimentOptions &opts)
     SimCache &cache = SimCache::global();
     cache.attachDiskTier(opts.cacheDir);
     cache.setShardPolicy({opts.shards, opts.shardId});
+    if (opts.backend == "queue" && !opts.spoolDir.empty()) {
+        // Cache misses become spool job files drained by external
+        // bwsim --worker processes; everything above the SimCache is
+        // unchanged, so the merged tables are byte-identical to an
+        // in-process run.
+        WorkQueueConfig cfg;
+        cfg.spoolDir = opts.spoolDir;
+        cfg.jobTimeoutSec = static_cast<double>(opts.jobTimeoutSec);
+        cache.setSimulationBackend(
+            std::make_shared<WorkQueueBackend>(std::move(cfg)));
+    } else {
+        cache.setSimulationBackend(nullptr); // default threaded pool
+    }
 }
 
 std::vector<BenchmarkProfile>

@@ -48,13 +48,22 @@ struct ExperimentOptions
     int shardId = 0;
     /** Parent fan-out: fork this many shard workers (CLI only). */
     int jobs = 1;
+    /** How cache misses execute: "threads" (in-process pool),
+     *  "jobs" (forked shard workers), or "queue" (spool-dir work
+     *  queue drained by external bwsim --worker processes). */
+    std::string backend = "threads";
+    /** Work-queue spool directory (backend == "queue"). */
+    std::string spoolDir;
+    /** Claimed-but-abandoned jobs are reclaimed after this long. */
+    int jobTimeoutSec = 300;
     /** Table rendering for the CLI emitters. */
     TableFormat format = TableFormat::Text;
 
     /**
      * Read BWSIM_BENCHES / BWSIM_THREADS / BWSIM_SHRINK /
-     * BWSIM_CACHE_DIR. Malformed integers are rejected with the same
-     * strict fatal() the CLI flags use, never silently defaulted.
+     * BWSIM_CACHE_DIR / BWSIM_SPOOL_DIR. Malformed integers are
+     * rejected with the same strict fatal() the CLI flags use, never
+     * silently defaulted.
      */
     static ExperimentOptions fromEnv();
 };

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 #include <vector>
 
@@ -195,5 +196,93 @@ TEST(Cli, UsageMentionsTheExecutionFlags)
     ASSERT_EQ(runCli({"--help"}, out, err), 0);
     for (const char *flag : {"--cache-dir", "--jobs", "--shards",
                              "--shard-id", "--format", "--exec-stats"})
+        EXPECT_NE(out.find(flag), std::string::npos) << flag;
+}
+
+TEST(Cli, BackendOptionsValidated)
+{
+    std::string out, err;
+    EXPECT_NE(runCli({"tab1", "--backend=carrier-pigeon"}, out, err), 0);
+    EXPECT_NE(err.find("--backend"), std::string::npos);
+
+    // queue without a spool: nowhere to put the jobs.
+    err.clear();
+    EXPECT_NE(runCli({"tab1", "--backend=queue"}, out, err), 0);
+    EXPECT_NE(err.find("--spool-dir"), std::string::npos);
+
+    // queue and the fork/shard modes are different scale-out paths.
+    err.clear();
+    EXPECT_NE(runCli({"tab1", "--backend=queue", "--spool-dir=/tmp/s",
+                      "--jobs=2"},
+                     out, err),
+              0);
+    EXPECT_NE(err.find("incompatible"), std::string::npos);
+
+    // jobs backend without a fan-out count is meaningless.
+    err.clear();
+    EXPECT_NE(runCli({"tab1", "--backend=jobs"}, out, err), 0);
+    EXPECT_NE(err.find("--jobs"), std::string::npos);
+
+    err.clear();
+    EXPECT_NE(runCli({"tab1", "--backend=threads", "--jobs=2"}, out,
+                     err),
+              0);
+    EXPECT_NE(err.find("contradicts"), std::string::npos);
+
+    err.clear();
+    EXPECT_NE(runCli({"tab1", "--job-timeout=0"}, out, err), 0);
+    EXPECT_NE(err.find("--job-timeout"), std::string::npos);
+}
+
+TEST(Cli, WorkerModeValidated)
+{
+    std::string out, err;
+    EXPECT_NE(runCli({"--worker"}, out, err), 0);
+    EXPECT_NE(err.find("--spool-dir"), std::string::npos);
+
+    err.clear();
+    EXPECT_NE(runCli({"--worker", "--spool-dir=/tmp/s", "tab1"}, out,
+                     err),
+              0);
+    EXPECT_NE(err.find("no experiment names"), std::string::npos);
+}
+
+TEST(Cli, CacheHousekeepingNeedsACacheDir)
+{
+    std::string out, err;
+    EXPECT_NE(runCli({"--cache-stats"}, out, err), 0);
+    EXPECT_NE(err.find("--cache-dir"), std::string::npos);
+
+    err.clear();
+    EXPECT_NE(runCli({"--cache-max-mb=1"}, out, err), 0);
+    EXPECT_NE(err.find("--cache-dir"), std::string::npos);
+
+    // A negative budget is a mistake, not a no-op.
+    err.clear();
+    EXPECT_NE(runCli({"--cache-max-mb=-5", "--cache-dir=/tmp/x"}, out,
+                     err),
+              0);
+    EXPECT_NE(err.find("--cache-max-mb"), std::string::npos);
+}
+
+TEST(Cli, CacheStatsOnAnEmptyDirReportsZeroEntries)
+{
+    std::string dir = ::testing::TempDir() + "bwsim-cli-cache-stats";
+    std::filesystem::remove_all(dir);
+    std::string out, err;
+    // Housekeeping-only invocation: no experiment names needed.
+    ASSERT_EQ(runCli({"--cache-stats", ("--cache-dir=" + dir).c_str()},
+                     out, err),
+              0);
+    EXPECT_NE(out.find("0 entries"), std::string::npos) << out;
+}
+
+TEST(Cli, UsageMentionsTheQueueFlags)
+{
+    std::string out, err;
+    ASSERT_EQ(runCli({"--help"}, out, err), 0);
+    for (const char *flag :
+         {"--backend", "--spool-dir", "--job-timeout", "--worker",
+          "--cache-stats", "--cache-max-mb"})
         EXPECT_NE(out.find(flag), std::string::npos) << flag;
 }

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -291,6 +292,145 @@ TEST(DiskSimCache, SecondInvocationSimulatesNothing)
     ASSERT_EQ(warm.size(), cold.size());
     for (std::size_t i = 0; i < warm.size(); ++i)
         expectIdentical(cold[i], warm[i]);
+}
+
+TEST(DiskSimCache, ZeroLengthFileIsMissNotCorruption)
+{
+    // A crash between creating the temp file and writing it -- or an
+    // interrupted copy of the cache directory -- leaves a zero-length
+    // file. That must read as an ordinary miss (with a warning), not
+    // as a corrupt published entry, and a subsequent store must heal
+    // it.
+    DiskSimCache cache(freshDir("zero-length"));
+    const std::string key = "k";
+    writeFile(entryPathFor(cache, key), "");
+
+    SimResult out;
+    EXPECT_FALSE(cache.load(key, out));
+    EXPECT_EQ(cache.loadMisses(), 1u);
+    EXPECT_EQ(cache.rejected(), 0u)
+        << "zero-length is an interrupted write, not corruption";
+
+    ASSERT_TRUE(cache.store(key, sampleResult()));
+    EXPECT_TRUE(cache.load(key, out));
+    expectIdentical(sampleResult(), out);
+}
+
+TEST(CacheDir, StatsCountEntriesBytesAndConfigs)
+{
+    std::string dir = freshDir("stats");
+    DiskSimCache cache(dir);
+
+    SimResult r = sampleResult();
+    // Keys in the SimCache's "profileKey \n configKey" shape; the
+    // config name is the first length-prefixed KeyBuilder field.
+    ASSERT_TRUE(cache.store("1:a|x|\n8:baseline|y|", r));
+    ASSERT_TRUE(cache.store("1:b|x|\n8:baseline|y|", r));
+    ASSERT_TRUE(cache.store("1:a|x|\n5:16+48|z|", r));
+
+    CacheDirStats stats = scanCacheDir(dir);
+    EXPECT_EQ(stats.entries, 3u);
+    EXPECT_GT(stats.bytes, 0u);
+    EXPECT_EQ(stats.unreadable, 0u);
+    ASSERT_EQ(stats.byConfig.size(), 2u);
+    // Sorted by bytes descending: the two baseline entries lead.
+    EXPECT_EQ(stats.byConfig[0].config, "baseline");
+    EXPECT_EQ(stats.byConfig[0].entries, 2u);
+    EXPECT_EQ(stats.byConfig[1].config, "16+48");
+    EXPECT_EQ(stats.byConfig[1].entries, 1u);
+    EXPECT_EQ(stats.bytes,
+              stats.byConfig[0].bytes + stats.byConfig[1].bytes);
+}
+
+TEST(CacheDir, StatsFlagUnreadableFilesAndIgnoreForeignNames)
+{
+    std::string dir = freshDir("stats-foreign");
+    DiskSimCache cache(dir);
+    ASSERT_TRUE(cache.store("1:a|\n8:baseline|", sampleResult()));
+    writeFile(dir + "/sc-0000000000000bad.bin", "not an entry");
+    writeFile(dir + "/README.txt", "not a cache file at all");
+
+    CacheDirStats stats = scanCacheDir(dir);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.unreadable, 1u);
+    EXPECT_GT(stats.unreadableBytes, 0u);
+}
+
+TEST(CacheDir, EvictionDropsOldestEntriesFirst)
+{
+    std::string dir = freshDir("evict");
+    DiskSimCache cache(dir);
+    SimResult r = sampleResult();
+    const std::string old_key = "1:a|\n3:old|";
+    const std::string new_key = "1:a|\n3:new|";
+    ASSERT_TRUE(cache.store(old_key, r));
+    ASSERT_TRUE(cache.store(new_key, r));
+    // Make the first entry unambiguously the LRU one.
+    fs::last_write_time(entryPathFor(cache, old_key),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(1));
+
+    const std::uint64_t entry_size =
+        fs::file_size(entryPathFor(cache, new_key));
+    EvictionReport rep = evictCacheDir(dir, entry_size);
+    EXPECT_EQ(rep.filesEvicted, 1u);
+    EXPECT_EQ(rep.filesKept, 1u);
+    EXPECT_EQ(rep.bytesKept, entry_size);
+    EXPECT_FALSE(fs::exists(entryPathFor(cache, old_key)))
+        << "the older entry is the one evicted";
+    EXPECT_TRUE(fs::exists(entryPathFor(cache, new_key)));
+
+    // The surviving entry still loads; the evicted one is a miss.
+    SimResult out;
+    EXPECT_TRUE(cache.load(new_key, out));
+    EXPECT_FALSE(cache.load(old_key, out));
+
+    // A zero budget clears the directory of entries.
+    rep = evictCacheDir(dir, 0);
+    EXPECT_EQ(rep.filesEvicted, 1u);
+    EXPECT_EQ(rep.filesKept, 0u);
+    EXPECT_EQ(scanCacheDir(dir).entries, 0u);
+}
+
+TEST(CacheDir, StaleTempFilesAreCountedAndSwept)
+{
+    std::string dir = freshDir("temp-debris");
+    DiskSimCache cache(dir);
+    ASSERT_TRUE(cache.store("1:a|\n1:c|", sampleResult()));
+    // A crashed writer's leftover (old) and a live writer's (fresh).
+    writeFile(dir + "/tmp-1-0.part", "half-written entry");
+    writeFile(dir + "/tmp-2-0.part", "in-flight entry");
+    fs::last_write_time(dir + "/tmp-1-0.part",
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(2));
+
+    CacheDirStats stats = scanCacheDir(dir);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.tempFiles, 2u);
+    EXPECT_GT(stats.tempBytes, 0u);
+    EXPECT_EQ(stats.unreadable, 0u)
+        << "temp debris is not corruption";
+
+    // Eviction sweeps the stale .part file even under budget, but
+    // leaves the fresh one (its writer may still be alive) and the
+    // real entry alone.
+    EvictionReport rep = evictCacheDir(dir, 1024ull * 1024 * 1024);
+    EXPECT_EQ(rep.filesEvicted, 1u);
+    EXPECT_FALSE(fs::exists(dir + "/tmp-1-0.part"));
+    EXPECT_TRUE(fs::exists(dir + "/tmp-2-0.part"));
+    EXPECT_EQ(scanCacheDir(dir).entries, 1u);
+}
+
+TEST(CacheDir, EvictionUnderBudgetIsANoOp)
+{
+    std::string dir = freshDir("evict-noop");
+    DiskSimCache cache(dir);
+    ASSERT_TRUE(cache.store("1:a|\n1:c|", sampleResult()));
+    EvictionReport rep =
+        evictCacheDir(dir, 1024ull * 1024 * 1024);
+    EXPECT_EQ(rep.filesEvicted, 0u);
+    EXPECT_EQ(rep.filesKept, 1u);
+    EXPECT_EQ(scanCacheDir(dir).entries, 1u);
 }
 
 TEST(DiskSimCache, ClearDropsMemoryButKeepsDiskTier)

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Golden-result regression suite: checked-in TSV snapshots of the
+ * Fig. 3 / Fig. 10 / Fig. 12 and Table II experiment tables (under
+ * --shrink) are diffed exactly against fresh runs. Simulations are
+ * deterministic, so any byte of drift is a behaviour change in the
+ * runner -- intentional changes are reblessed with
+ * scripts/regen_golden.sh (which reruns this binary with
+ * BWSIM_REGEN_GOLDEN=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiments.hh"
+
+#ifndef BWSIM_GOLDEN_DIR
+#error "CMake must define BWSIM_GOLDEN_DIR (tests/golden in the source tree)"
+#endif
+
+using namespace bwsim;
+
+namespace
+{
+
+/**
+ * The pinned scenario: two benchmarks at --shrink=16, the scale CI
+ * can afford. Golden files are only meaningful for exactly these
+ * options; regen_golden.sh rebuilds them for the same ones.
+ */
+exp::ExperimentOptions
+goldenOptions()
+{
+    exp::ExperimentOptions opts;
+    opts.benchmarks = {"bfs", "lbm"};
+    opts.shrink = 16;
+    opts.threads = 2;
+    return opts;
+}
+
+std::string
+render(const exp::SeriesTable &t)
+{
+    std::ostringstream os;
+    t.table.printTsv(os);
+    return os.str();
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(BWSIM_GOLDEN_DIR) + "/" + name + ".tsv";
+}
+
+/** Compare @p fresh against the checked-in snapshot -- or, under
+ *  BWSIM_REGEN_GOLDEN=1, rebless the snapshot instead. */
+void
+compareOrRegen(const std::string &name, const std::string &fresh)
+{
+    const std::string path = goldenPath(name);
+    if (std::getenv("BWSIM_REGEN_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(bool(out)) << "cannot write " << path;
+        out << fresh;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(bool(in))
+        << "missing golden file " << path
+        << " -- run scripts/regen_golden.sh to (re)bless snapshots";
+    std::string golden((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    EXPECT_EQ(fresh, golden)
+        << "table drifted from " << path
+        << " -- if the change is intentional, rebless with "
+           "scripts/regen_golden.sh\n--- fresh ---\n"
+        << fresh;
+}
+
+} // namespace
+
+TEST(Golden, Tab2SpeedupBounds)
+{
+    compareOrRegen("tab2", render(exp::tab2SpeedupBounds(goldenOptions())));
+}
+
+TEST(Golden, Fig3LatencySweep)
+{
+    compareOrRegen("fig3",
+                   render(exp::fig3LatencySweep(
+                       goldenOptions(), exp::fig3DefaultLatencies())));
+}
+
+TEST(Golden, Fig10DseScaling)
+{
+    compareOrRegen("fig10", render(exp::fig10DseScaling(goldenOptions())));
+}
+
+TEST(Golden, Fig12CostEffective)
+{
+    compareOrRegen("fig12",
+                   render(exp::fig12CostEffective(goldenOptions())));
+}
