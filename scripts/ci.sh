@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # Tier-1 verify: configure, build, run the full ctest suite, then the
 # persistent-cache / sharded-sweep smoke checks.
-# Usage: scripts/ci.sh [quick|test|smoke]
+# Usage: scripts/ci.sh [quick|test|smoke|asan]
 #   quick  -- build + the fast unit-label subset (pre-commit loop)
 #   test   -- build + the full ctest suite
 #   smoke  -- cache/shard end-to-end checks against an existing build
+#   asan   -- ASan+UBSan instrumented build (build-asan/) + the
+#             quick-label suites under both sanitizers
 #   (none) -- test + smoke
 set -eu
 
@@ -17,6 +19,19 @@ build() {
 
 run_tests() {
     ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
+}
+
+# ASan+UBSan instrumented build and quick-label test run, in its own
+# build directory so it never dirties the regular one. UBSan halts on
+# the first finding (otherwise violations scroll by as warnings and
+# the suite still passes).
+asan() {
+    cmake -B build-asan -S . -DBWSIM_SANITIZE=address,undefined \
+        -DBWSIM_BUILD_BENCHES=OFF -DBWSIM_BUILD_EXAMPLES=OFF
+    cmake --build build-asan -j "$(nproc)"
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ctest --test-dir build-asan --output-on-failure \
+        -j "$(nproc)" -L quick
 }
 
 # End-to-end checks of the execution backends:
@@ -95,6 +110,21 @@ smoke() {
         exit 1
     }
 
+    echo "smoke: --format=json parses and --dump-stats names the tree"
+    ./build/bwsim fig4 --benches=bfs,lbm --shrink=16 --threads=2 \
+        --format=json > "$smoke_tmp/json.out"
+    python3 -m json.tool "$smoke_tmp/json.out" > /dev/null || {
+        echo "smoke FAIL: --format=json output is not valid JSON:" >&2
+        cat "$smoke_tmp/json.out" >&2
+        exit 1
+    }
+    ./build/bwsim --dump-stats --benches=bfs --shrink=16 \
+        > "$smoke_tmp/stats-tree.out"
+    grep -q 'gpu\.core0\.issued_insts' "$smoke_tmp/stats-tree.out" || {
+        echo "smoke FAIL: --dump-stats did not print the stats tree" >&2
+        exit 1
+    }
+
     echo "smoke: --cache-stats and --cache-max-mb eviction"
     ./build/bwsim --cache-stats --cache-dir="$smoke_tmp/cache" \
         > "$smoke_tmp/stats.out"
@@ -128,6 +158,9 @@ case "${1:-}" in
     smoke)
         [ -x build/bwsim ] || build
         smoke
+        ;;
+    asan)
+        asan
         ;;
     *)
         build

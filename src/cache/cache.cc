@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/intmath.hh"
+#include "stats/stat.hh"
 
 namespace bwsim
 {
@@ -117,6 +118,34 @@ CacheModel::CacheModel(const CacheParams &params,
 {
     bwsim_assert(alloc != nullptr, "cache '%s' needs a packet allocator",
                  cfg.name.c_str());
+}
+
+void
+CacheModel::registerStats(stats::Group &parent, const std::string &name)
+{
+    stats::Group &g = parent.createChild(name);
+    g.bindScalar("accesses", "accesses presented", ctr.accesses);
+    g.bindScalar("read_hits", "read hits serviced", ctr.readHits);
+    g.bindScalar("read_misses", "read misses (fills requested)",
+                 ctr.readMisses);
+    g.bindScalar("mshr_merges", "reads merged into in-flight fills",
+                 ctr.mshrMerges);
+    g.bindScalar("write_hits", "write hits", ctr.writeHits);
+    g.bindScalar("write_misses", "write misses", ctr.writeMisses);
+    g.bindScalar("writes_forwarded",
+                 "write-evict stores pushed to the next level",
+                 ctr.writesForwarded);
+    g.bindScalar("writebacks", "dirty lines written back", ctr.writebacks);
+    g.bindScalar("fills", "fills applied from the next level", ctr.fills);
+    std::vector<std::string> causes;
+    for (unsigned i = 0; i < numCacheStallCauses; ++i)
+        causes.push_back(
+            cacheStallCauseName(static_cast<CacheStallCause>(i)));
+    g.bindVector("stall_cycles", "owner-observed stalled cycles by cause",
+                 ctr.stallCycles.data(), numCacheStallCauses,
+                 std::move(causes));
+    g.formula("miss_rate", "read misses+merges / all reads",
+              [this] { return ctr.missRate(); });
 }
 
 bool

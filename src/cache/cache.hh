@@ -38,6 +38,11 @@
 namespace bwsim
 {
 
+namespace stats
+{
+class Group;
+}
+
 /** Write handling policy (paper Table I). */
 enum class WritePolicy : std::uint8_t
 {
@@ -156,6 +161,13 @@ class CacheModel
 
     const CacheParams &params() const { return cfg; }
     const CacheCounters &counters() const { return ctr; }
+
+    /**
+     * Register this cache's counters as a child group @p name of
+     * @p parent (stats are bound views; the hot-path counters stay
+     * plain). Call once, after construction.
+     */
+    void registerStats(stats::Group &parent, const std::string &name);
 
     /**
      * Present one access. At most one call per cycle; a stall outcome

@@ -12,6 +12,7 @@
 #include "core/dse.hh"
 #include "core/sim_cache.hh"
 #include "core/work_queue.hh"
+#include "gpu/gpu.hh"
 #include "stats/table.hh"
 
 #ifdef __unix__
@@ -30,7 +31,9 @@ namespace
  * Format-aware emitters: in text mode every byte matches the legacy
  * reports; in csv/tsv mode tables become machine-readable grids,
  * section headings become '#' comment lines, and prose notes are
- * dropped so the output can be diffed and plotted directly.
+ * dropped so the output can be diffed and plotted directly. In json
+ * mode each table is one single-line JSON object (valid JSON Lines
+ * across tables) and headings/notes are dropped entirely.
  */
 void
 heading(const exp::ExperimentOptions &opts, std::ostream &os,
@@ -40,6 +43,8 @@ heading(const exp::ExperimentOptions &opts, std::ostream &os,
         os << line << "\n";
         return;
     }
+    if (opts.format == exp::TableFormat::Json)
+        return;
     std::size_t first = line.find_first_not_of('\n');
     os << "# " << (first == std::string::npos ? line : line.substr(first))
        << "\n";
@@ -55,6 +60,9 @@ emit(const exp::ExperimentOptions &opts, std::ostream &os,
         break;
       case exp::TableFormat::Tsv:
         t.printTsv(os);
+        break;
+      case exp::TableFormat::Json:
+        t.printJson(os);
         break;
       default:
         t.print(os);
@@ -326,7 +334,17 @@ printUsage(std::ostream &os)
           "  --benches=A,B,..  benchmark subset (paper abbreviations)\n"
           "  --threads=N       host threads for the parallel runner\n"
           "  --shrink=K        divide workload size by K (quick runs)\n"
-          "  --format=F        table output: text (default), csv, tsv\n"
+          "  --format=F        table output: text (default), csv, tsv,\n"
+          "                    json (one JSON object per table; JSON\n"
+          "                    Lines across tables)\n"
+          "  --dump-stats      simulate the selected benchmarks on one\n"
+          "                    config (--config=) and print the full\n"
+          "                    per-component statistics tree instead\n"
+          "                    of experiment tables\n"
+          "  --config=NAME     config preset for --dump-stats:\n"
+          "                    baseline (default), L1, L2, DRAM,\n"
+          "                    L1+L2, L2+DRAM, All, HBM, 16+48, 16+68,\n"
+          "                    32+52, P-inf, P-DRAM, fixed-<N>\n"
           "  --cache-dir=DIR   persistent SimCache tier: warm\n"
           "                    (profile, config) pairs load from DIR\n"
           "                    instead of re-simulating\n"
@@ -400,6 +418,39 @@ printCacheStats(const std::string &dir, std::ostream &os)
         t.addNum(double(g.bytes) / kMB, 2);
     }
     t.print(os);
+}
+
+/**
+ * The --dump-stats mode: simulate each selected benchmark on one
+ * config preset and print the full statistics tree -- every counter
+ * of every component, named by its position in the hierarchy
+ * (gpu.core3.l1d.accesses, gpu.part0.dram.activates, ...).
+ */
+int
+runDumpStats(const exp::ExperimentOptions &opts,
+             const std::string &config_name, std::ostream &out,
+             std::ostream &err)
+{
+    GpuConfig cfg;
+    if (!findConfigPreset(config_name, cfg)) {
+        err << "bwsim: unknown --config '" << config_name
+            << "'; expected one of:";
+        for (const auto &n : configPresetNames())
+            err << " " << n;
+        err << "\n";
+        return 1;
+    }
+    auto profiles = exp::selectBenchmarks(opts);
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        if (i > 0)
+            out << "\n";
+        Gpu gpu(cfg, profiles[i]);
+        gpu.run();
+        out << "# stats: benchmark=" << profiles[i].name
+            << " config=" << cfg.name << "\n";
+        gpu.dumpStats(out);
+    }
+    return 0;
 }
 
 /** The --worker process mode: drain --spool-dir until stopped. */
@@ -649,6 +700,9 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
     bool backend_flag = false;
     bool worker = false;
     bool cache_stats = false;
+    bool dump_stats = false;
+    std::string config_name = "baseline";
+    bool config_flag = false;
     int cache_max_mb = -1;
 
     for (int i = 1; i < argc; ++i) {
@@ -714,6 +768,11 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
                 return 1;
         } else if (a == "--worker") {
             worker = true;
+        } else if (a == "--dump-stats") {
+            dump_stats = true;
+        } else if (a.rfind("--config=", 0) == 0) {
+            config_name = valueOf("--config=");
+            config_flag = true;
         } else if (a == "--cache-stats") {
             cache_stats = true;
         } else if (a.rfind("--cache-max-mb=", 0) == 0) {
@@ -788,9 +847,49 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
         err << "bwsim: --job-timeout must be >= 1\n";
         return 1;
     }
+    if (opts.backend == "queue" &&
+        opts.jobTimeoutSec < 2 * kDefaultClaimHeartbeatSec) {
+        // Workers refresh their claim every kDefaultClaimHeartbeatSec;
+        // a timeout inside that window reclaims live jobs.
+        err << csprintf(
+            "bwsim: warning: --job-timeout=%d is below twice the "
+            "worker claim-heartbeat period (%.0fs); live jobs may be "
+            "reclaimed and re-simulated\n",
+            opts.jobTimeoutSec, kDefaultClaimHeartbeatSec);
+    }
     if ((cache_stats || cache_max_mb >= 0) && opts.cacheDir.empty()) {
         err << "bwsim: --cache-stats/--cache-max-mb need --cache-dir\n";
         return 1;
+    }
+
+    if (config_flag && !dump_stats) {
+        err << "bwsim: --config only applies to --dump-stats\n";
+        return 1;
+    }
+    if (dump_stats) {
+        if (!names.empty()) {
+            err << "bwsim: --dump-stats takes no experiment names (it "
+                   "dumps raw per-component stats, not figure "
+                   "tables)\n";
+            return 1;
+        }
+        if (worker || cache_stats || cache_max_mb >= 0) {
+            err << "bwsim: --dump-stats cannot be combined with "
+                   "--worker or cache housekeeping\n";
+            return 1;
+        }
+        if (opts.format != exp::TableFormat::Text) {
+            err << "bwsim: --dump-stats prints the raw stats tree, "
+                   "not tables; --format does not apply\n";
+            return 1;
+        }
+        if (opts.jobs > 1 || opts.shards > 1 ||
+            (backend_flag && opts.backend != "threads")) {
+            err << "bwsim: --dump-stats simulates in-process; "
+                   "--jobs/--shards/--backend do not apply\n";
+            return 1;
+        }
+        return runDumpStats(opts, config_name, out, err);
     }
 
     if (worker) {

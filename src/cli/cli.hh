@@ -6,6 +6,8 @@
  *   bwsim fig7 fig8 --benches=bfs,spmv --threads=8 --shrink=4
  *   bwsim fig10 fig12 --cache-dir=.bwsim-cache --jobs=4
  *   bwsim fig10 --backend=queue --spool-dir=/nfs/spool
+ *   bwsim fig4 --benches=bfs --format=json
+ *   bwsim --dump-stats --benches=bfs --config=P-DRAM --shrink=16
  *   bwsim --worker --spool-dir=/nfs/spool --cache-dir=/nfs/cache
  *   bwsim --cache-stats --cache-max-mb=512 --cache-dir=.bwsim-cache
  *   bwsim --list

@@ -57,6 +57,8 @@ parseTableFormat(const std::string &s, TableFormat &out)
         out = TableFormat::Csv;
     else if (s == "tsv")
         out = TableFormat::Tsv;
+    else if (s == "json")
+        out = TableFormat::Json;
     else
         return false;
     return true;

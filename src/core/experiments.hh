@@ -26,9 +26,10 @@ enum class TableFormat
     Text, ///< aligned human-readable columns (default)
     Csv,  ///< comma-separated, quoted as needed
     Tsv,  ///< tab-separated
+    Json, ///< one single-line JSON object per table (JSON Lines)
 };
 
-/** Parse "text" / "csv" / "tsv"; false on anything else. */
+/** Parse "text" / "csv" / "tsv" / "json"; false on anything else. */
 bool parseTableFormat(const std::string &s, TableFormat &out);
 
 /** Common knobs for every experiment driver. */

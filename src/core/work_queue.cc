@@ -193,6 +193,46 @@ decodeReply(const std::string &bytes, std::string &key_out,
     return true;
 }
 
+ClaimHeartbeat::ClaimHeartbeat(std::string path_, double interval_sec)
+    : path(std::move(path_)), intervalSec(interval_sec)
+{
+    if (intervalSec <= 0)
+        return;
+    thread = std::thread([this] {
+        std::unique_lock<std::mutex> lock(mtx);
+        for (;;) {
+            if (cv.wait_for(lock,
+                            std::chrono::duration<double>(intervalSec),
+                            [this] { return stopping; }))
+                return;
+            std::error_code ec;
+            fs::last_write_time(path, fs::file_time_type::clock::now(),
+                                ec);
+            if (!ec)
+                ++beatCount;
+        }
+    });
+}
+
+ClaimHeartbeat::~ClaimHeartbeat()
+{
+    if (!thread.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    thread.join();
+}
+
+std::uint64_t
+ClaimHeartbeat::beats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return beatCount;
+}
+
 WorkQueue::WorkQueue(WorkQueueConfig cfg_) : cfg(std::move(cfg_))
 {
     ensureSpoolDirs(cfg.spoolDir);
@@ -383,7 +423,7 @@ stopRequested(const std::string &spool_dir)
 
 bool
 workerProcessOneJob(const std::string &spool_dir, SimCache &cache,
-                    WorkerStats *stats)
+                    WorkerStats *stats, double heartbeat_sec)
 {
     ensureSpoolDirs(spool_dir);
     std::error_code ec;
@@ -427,7 +467,13 @@ workerProcessOneJob(const std::string &spool_dir, SimCache &cache,
         }
 
         const std::string key = workKeyOf(spec);
-        const SimResult result = cache.run(spec.profile, spec.config);
+        const SimResult result = [&] {
+            // Keep the claim visibly alive while the (possibly long)
+            // simulation runs.
+            ClaimHeartbeat heartbeat(claimed_path.string(),
+                                     heartbeat_sec);
+            return cache.run(spec.profile, spec.config);
+        }();
         const fs::path reply_path =
             repliesDir(spool_dir) / replyFileNameFor(key);
         if (!atomicWriteFile(reply_path, encodeReply(key, result)))
@@ -451,7 +497,8 @@ runWorker(const WorkQueueConfig &cfg, SimCache &cache)
     ensureSpoolDirs(cfg.spoolDir);
     WorkerStats stats;
     for (;;) {
-        if (workerProcessOneJob(cfg.spoolDir, cache, &stats))
+        if (workerProcessOneJob(cfg.spoolDir, cache, &stats,
+                                cfg.claimHeartbeatSec))
             continue;
         if (stopRequested(cfg.spoolDir))
             break;

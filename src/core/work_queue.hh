@@ -35,8 +35,11 @@
 #ifndef BWSIM_CORE_WORK_QUEUE_HH
 #define BWSIM_CORE_WORK_QUEUE_HH
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -56,6 +59,9 @@ constexpr std::uint32_t workQueueFormatVersion = 1;
 constexpr std::uint32_t workQueueJobMagic = 0x4a535742;
 constexpr std::uint32_t workQueueReplyMagic = 0x52535742;
 
+/** Default claim-heartbeat period (seconds); see ClaimHeartbeat. */
+constexpr double kDefaultClaimHeartbeatSec = 15.0;
+
 /** Knobs shared by the parent session and the worker loop. */
 struct WorkQueueConfig
 {
@@ -66,6 +72,43 @@ struct WorkQueueConfig
     double jobTimeoutSec = 300.0;
     /** Sleep between parent poll passes / idle worker scans. */
     double pollIntervalSec = 0.02;
+    /** Workers touch their claim file this often while simulating, so
+     *  a live long job is never mistaken for an abandoned one and
+     *  --job-timeout no longer needs to out-wait the slowest
+     *  simulation. <= 0 disables the heartbeat. */
+    double claimHeartbeatSec = kDefaultClaimHeartbeatSec;
+};
+
+/**
+ * RAII claim heartbeat: a background thread refreshes @p path's mtime
+ * every @p interval_sec until destruction. The claim mtime is the
+ * parent's only liveness signal for a job, so without a heartbeat the
+ * job timeout must exceed the slowest simulation; with one it only
+ * needs to exceed the heartbeat period. A vanished file (the claim
+ * was reclaimed under us) is ignored -- the late reply is still
+ * valid, and the parent resolves the race.
+ */
+class ClaimHeartbeat
+{
+  public:
+    /** @p interval_sec <= 0 starts no thread (disabled). */
+    ClaimHeartbeat(std::string path, double interval_sec);
+    ~ClaimHeartbeat();
+
+    ClaimHeartbeat(const ClaimHeartbeat &) = delete;
+    ClaimHeartbeat &operator=(const ClaimHeartbeat &) = delete;
+
+    /** Mtime refreshes performed so far (tests). */
+    std::uint64_t beats() const;
+
+  private:
+    std::string path;
+    double intervalSec;
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    bool stopping = false;
+    std::uint64_t beatCount = 0;
+    std::thread thread;
 };
 
 /** @name Wire format (fuzz-tested in tests/test_fuzz_serdes.cc) */
@@ -194,11 +237,15 @@ bool stopRequested(const std::string &spool_dir);
  * Claim (atomic rename into claimed/) and run at most one job
  * through @p cache -- the two-tier SimCache, so warm pairs come from
  * memory or the shared cache directory instead of re-simulating --
- * then publish the reply. Returns true when a job file was consumed
- * (including a corrupt one, which is discarded with a warning).
+ * then publish the reply. While the simulation runs, a ClaimHeartbeat
+ * touches the claim file every @p heartbeat_sec so the parent's
+ * stale-claim reclaim never fires on a live job. Returns true when a
+ * job file was consumed (including a corrupt one, which is discarded
+ * with a warning).
  */
 bool workerProcessOneJob(const std::string &spool_dir, SimCache &cache,
-                         WorkerStats *stats = nullptr);
+                         WorkerStats *stats = nullptr,
+                         double heartbeat_sec = kDefaultClaimHeartbeatSec);
 
 /**
  * The worker loop: process jobs until the stop sentinel appears and

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/intmath.hh"
+#include "stats/stat.hh"
 
 namespace bwsim
 {
@@ -88,6 +89,26 @@ DramChannel::DramChannel(const DramParams &params,
     bwsim_assert(isPowerOf2(cfg.lineBytes), "line size must be 2^n");
     bwsim_assert(cfg.rowBytes >= cfg.lineBytes,
                  "row smaller than a cache line");
+}
+
+void
+DramChannel::registerStats(stats::Group &parent)
+{
+    stats::Group &g = parent.createChild("dram");
+    g.bindScalar("reads", "column read commands", ctr.reads);
+    g.bindScalar("writes", "column write commands", ctr.writes);
+    g.bindScalar("activates", "row activate commands", ctr.activates);
+    g.bindScalar("precharges", "precharge commands", ctr.precharges);
+    g.bindScalar("data_bus_busy_cycles",
+                 "command-clock cycles with the data bus transferring",
+                 ctr.dataBusBusyCycles);
+    g.bindScalar("pending_cycles", "cycles with >=1 queued request",
+                 ctr.pendingCycles);
+    g.bindScalar("cycles", "command-clock cycles ticked", ctr.cycles);
+    g.formula("efficiency", "busy / pending cycles (Sec. IV-B1)",
+              [this] { return ctr.efficiency(); });
+    g.formula("row_hit_rate", "column accesses not needing an activate",
+              [this] { return ctr.rowHitRate(); });
 }
 
 void

@@ -32,6 +32,11 @@
 namespace bwsim
 {
 
+namespace stats
+{
+class Group;
+}
+
 /** DRAM command kinds (for the legality checker and stats). */
 enum class DramCmd : std::uint8_t
 {
@@ -113,6 +118,10 @@ class DramChannel
 
     const DramParams &params() const { return cfg; }
     const DramCounters &counters() const { return ctr; }
+
+    /** Register this channel's counters as a child group "dram" of
+     *  @p parent. Call once, after construction. */
+    void registerStats(stats::Group &parent);
 
     /** Room in the FR-FCFS scheduler queue? */
     bool canAccept() const { return schedQ.size() < cfg.schedQueueEntries; }

@@ -1,5 +1,7 @@
 #include "dram/memory_partition.hh"
 
+#include "stats/stat.hh"
+
 namespace bwsim
 {
 
@@ -23,6 +25,23 @@ MemoryPartition::MemoryPartition(const PartitionParams &params,
         dp.numPartitions = cfg.numPartitions;
         channel = std::make_unique<DramChannel>(dp, alloc, cfg.partitionId);
     }
+}
+
+void
+MemoryPartition::registerStats(stats::Group &parent)
+{
+    stats::Group &g =
+        parent.createChild(csprintf("part%d", cfg.partitionId));
+    for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b)
+        banks[b]->registerStats(g, csprintf("l2b%u", b));
+    if (channel)
+        channel->registerStats(g);
+    accessQHist.registerStats(
+        g, "l2_access_occ",
+        "L2 access-queue occupancy bands (Fig. 4)");
+    dramQHist.registerStats(g, "dram_occ",
+                            "DRAM scheduler-queue occupancy bands "
+                            "(Fig. 5)");
 }
 
 void

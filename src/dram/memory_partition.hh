@@ -70,6 +70,13 @@ class MemoryPartition
         return cfg.partitionId * cfg.banksPerPartition + b;
     }
 
+    /**
+     * Register this partition's L2 banks, DRAM channel (when one
+     * exists) and queue-occupancy histograms as a child group
+     * "part<N>" of @p parent. Call once, after construction.
+     */
+    void registerStats(stats::Group &parent);
+
     /** One interconnect/L2 clock cycle. */
     void tickL2(double now_ps);
 

@@ -1,6 +1,7 @@
 #include "gpu/gpu.hh"
 
 #include <algorithm>
+#include <ostream>
 
 #include "workloads/trace_gen.hh"
 
@@ -8,7 +9,7 @@ namespace bwsim
 {
 
 Gpu::Gpu(const GpuConfig &config, const BenchmarkProfile &profile)
-    : cfg(config), prof(profile), amap(cfg.addressMap())
+    : cfg(config), prof(profile)
 {
     cfg.validate();
     bwsim_assert(prof.warpsPerCta * prof.maxCtasPerCore <=
@@ -24,32 +25,19 @@ Gpu::Gpu(const GpuConfig &config, const BenchmarkProfile &profile)
         cp.maxCtasResident = prof.maxCtasPerCore;
         cores.push_back(std::make_unique<SmCore>(cp, &alloc));
         cores.back()->setWorkSource(this);
+        cores.back()->registerStats(statsRoot);
     }
 
-    if (cfg.mode == MemoryMode::Normal ||
-        cfg.mode == MemoryMode::IdealDram) {
-        icnt = std::make_unique<Interconnect>(cfg.reqNetParams(),
-                                              cfg.replyNetParams());
-        for (std::uint32_t p = 0; p < cfg.numPartitions; ++p) {
-            parts.push_back(std::make_unique<MemoryPartition>(
-                cfg.partitionParams(static_cast<int>(p)), &alloc,
-                icnt.get()));
-        }
-    } else {
-        idealPipesFast.resize(cfg.numCores);
-        idealPipesSlow.resize(cfg.numCores);
-        if (cfg.mode == MemoryMode::PerfectMem) {
-            perfectL2Tags = std::make_unique<TagArray>(
-                cfg.l2TotalSizeBytes, cfg.lineBytes, cfg.l2Assoc);
-        }
-    }
+    memSys = makeMemSystem(cfg, &alloc, statsRoot);
 
     // Intra-instant ordering: drains first (DRAM), then the crossbar
     // and L2, then the cores that feed them.
-    dramDomain = clocks.addDomain("dram", cfg.dramClockMhz,
-                                  [this] { dramTick(); });
-    icntDomain = clocks.addDomain("icnt", cfg.icntClockMhz,
-                                  [this] { icntTick(); });
+    dramDomain = clocks.addDomain("dram", cfg.dramClockMhz, [this] {
+        memSys->dramTick(clocks.nowPs());
+    });
+    icntDomain = clocks.addDomain("icnt", cfg.icntClockMhz, [this] {
+        memSys->icntTick(clocks.nowPs());
+    });
     coreDomain = clocks.addDomain("core", cfg.coreClockMhz,
                                   [this] { coreTick(); });
 }
@@ -74,126 +62,15 @@ Gpu::takeCta(int core_id)
 }
 
 void
-Gpu::serviceIdealMemory(int core_id)
-{
-    // Infinite-bandwidth backend: drain every miss the core produced
-    // and schedule its response at the mode's fixed latency.
-    SmCore &core = *cores[core_id];
-    double now_ps = clocks.nowPs();
-
-    while (core.hasOutgoing()) {
-        MemFetch *mf = core.peekOutgoing();
-        core.popOutgoing();
-        if (mf->isWrite()) {
-            alloc.free(mf); // stores vanish into the ideal sink
-            continue;
-        }
-        if (mf->tLeftL1 == 0)
-            mf->tLeftL1 = now_ps;
-        bool fast = false;
-        std::uint32_t lat;
-        if (cfg.mode == MemoryMode::PerfectMem) {
-            ProbeOutcome probe = perfectL2Tags->probe(mf->lineAddr);
-            if (probe.result == ProbeResult::Hit) {
-                perfectL2Tags->accessHit(mf->lineAddr, probe.way,
-                                         coreCycleCount, false);
-                mf->servicedBy = ServicedBy::L2;
-                lat = cfg.perfectL2Latency;
-                fast = true;
-            } else {
-                bwsim_assert(probe.result != ProbeResult::MissNoLine,
-                             "perfect L2 tags can never be reservation "
-                             "limited");
-                perfectL2Tags->reserve(mf->lineAddr, probe.way,
-                                       coreCycleCount);
-                perfectL2Tags->fill(mf->lineAddr, coreCycleCount, false);
-                mf->servicedBy = ServicedBy::Dram;
-                lat = cfg.perfectDramLatency;
-            }
-        } else { // FixedL1Lat
-            mf->servicedBy = ServicedBy::Dram;
-            lat = cfg.fixedL1MissLatency;
-        }
-        auto &pipe = fast ? idealPipesFast[core_id]
-                          : idealPipesSlow[core_id];
-        pipe.push(mf, coreCycleCount + lat);
-    }
-
-    for (auto *pipe : {&idealPipesFast[core_id],
-                       &idealPipesSlow[core_id]}) {
-        while (pipe->ready(coreCycleCount)) {
-            MemFetch *mf = pipe->pop();
-            core.deliverResponse(mf, clocks.nowPs());
-        }
-    }
-}
-
-void
-Gpu::drainCoreOutgoing(int core_id)
-{
-    SmCore &core = *cores[core_id];
-    if (!core.hasOutgoing())
-        return;
-    auto &req = icnt->request();
-    if (!req.canAccept(static_cast<std::uint32_t>(core_id)))
-        return;
-    MemFetch *mf = core.peekOutgoing();
-    mf->partitionId = static_cast<int>(amap.partitionOf(mf->lineAddr));
-    mf->l2BankId = static_cast<int>(amap.bankOf(mf->lineAddr));
-    core.popOutgoing();
-    if (mf->tLeftL1 == 0)
-        mf->tLeftL1 = clocks.nowPs();
-    req.inject(static_cast<std::uint32_t>(core_id),
-               static_cast<std::uint32_t>(mf->l2BankId), mf,
-               mf->requestBytes(), clocks.nowPs());
-}
-
-void
 Gpu::coreTick()
 {
     ++coreCycleCount;
     double now_ps = clocks.nowPs();
     for (int c = 0; c < cfg.numCores; ++c) {
-        if (icnt) {
-            // One response per cycle from the response FIFO.
-            auto &reply = icnt->reply();
-            if (reply.ejectReady(static_cast<std::uint32_t>(c))) {
-                MemFetch *mf =
-                    reply.ejectPop(static_cast<std::uint32_t>(c));
-                cores[c]->deliverResponse(mf, now_ps);
-            }
-        } else {
-            serviceIdealMemory(c);
-        }
-
+        memSys->deliverResponses(c, *cores[c], now_ps, coreCycleCount);
         cores[c]->tick(now_ps);
-
-        if (icnt)
-            drainCoreOutgoing(c);
-        else
-            serviceIdealMemory(c);
+        memSys->acceptRequests(c, *cores[c], now_ps, coreCycleCount);
     }
-}
-
-void
-Gpu::icntTick()
-{
-    if (!icnt)
-        return;
-    double now_ps = clocks.nowPs();
-    icnt->tick();
-    for (auto &p : parts)
-        p->tickL2(now_ps);
-}
-
-void
-Gpu::dramTick()
-{
-    if (parts.empty())
-        return;
-    double now_ps = clocks.nowPs();
-    for (auto &p : parts)
-        p->tickDram(now_ps);
 }
 
 bool
@@ -206,12 +83,7 @@ Gpu::allWorkDone() const
             return false;
     if (alloc.outstanding() != 0)
         return false;
-    if (icnt && icnt->packetsInFlight() != 0)
-        return false;
-    for (const auto &p : parts)
-        if (!p->drained())
-            return false;
-    return true;
+    return memSys->drained();
 }
 
 void
@@ -241,6 +113,19 @@ Gpu::run()
     return harvest();
 }
 
+void
+Gpu::dumpStats(std::ostream &os) const
+{
+    statsRoot.dump(os);
+}
+
+/**
+ * The declarative harvest: every figure input below is a named query
+ * into the stats tree ("which groups" x "which stat"), so adding a
+ * metric means registering a stat and mapping it here -- no component
+ * plumbing. Queries return groups in construction order, which keeps
+ * floating-point aggregation deterministic.
+ */
 SimResult
 Gpu::harvest() const
 {
@@ -251,36 +136,39 @@ Gpu::harvest() const
     r.elapsedPs = clocks.nowPs();
     r.timedOut = resultTimedOut;
 
-    // Core-side aggregation.
-    std::uint64_t active_cycles = 0;
-    std::uint64_t stall_cycles = 0;
+    const auto core_g = stats::findGroups(statsRoot, "core*");
+    const auto l1d_g = stats::findGroups(statsRoot, "core*.l1d");
+    const auto part_g = stats::findGroups(statsRoot, "part*");
+    const auto l2b_g = stats::findGroups(statsRoot, "part*.l2b*");
+    const auto dram_g = stats::findGroups(statsRoot, "part*.dram");
+
+    // Core side: issue progress and stall taxonomy (Figs. 1 and 7).
+    r.warpInstsIssued = stats::sumScalar(core_g, "issued_insts");
+    const std::uint64_t active_cycles =
+        stats::sumScalar(core_g, "active_cycles");
     std::array<std::uint64_t, numIssueStallCauses> stalls{};
-    double mem_lat_sum = 0, l2_lat_sum = 0;
-    std::uint64_t mem_lat_n = 0, l2_lat_n = 0;
-    std::uint64_t l1_accesses = 0;
-    std::uint64_t l1_read_hits = 0, l1_read_misses = 0, l1_merges = 0;
-    std::array<std::uint64_t, numCacheStallCauses> l1_stalls{};
-
-    for (const auto &core : cores) {
-        const CoreCounters &cc = core->counters();
-        r.warpInstsIssued += cc.issuedInsts;
-        active_cycles += cc.activeCycles;
-        stall_cycles += cc.totalIssueStalls();
-        for (unsigned i = 0; i < numIssueStallCauses; ++i)
-            stalls[i] += cc.issueStalls[i];
-        mem_lat_sum += cc.memLatSum;
-        mem_lat_n += cc.memLatCount;
-        l2_lat_sum += cc.l2HitLatSum;
-        l2_lat_n += cc.l2HitLatCount;
-
-        const CacheCounters &l1 = core->l1d().counters();
-        l1_accesses += l1.accesses;
-        l1_read_hits += l1.readHits;
-        l1_read_misses += l1.readMisses;
-        l1_merges += l1.mshrMerges;
-        for (unsigned i = 0; i < numCacheStallCauses; ++i)
-            l1_stalls[i] += l1.stallCycles[i];
+    std::uint64_t stall_cycles = 0;
+    for (unsigned i = 0; i < numIssueStallCauses; ++i) {
+        stalls[i] = stats::sumVectorAt(core_g, "issue_stalls", i);
+        stall_cycles += stalls[i];
     }
+    const double mem_lat_sum = stats::sumValue(core_g, "mem_lat_sum");
+    const std::uint64_t mem_lat_n =
+        stats::sumScalar(core_g, "mem_lat_samples");
+    const double l2_lat_sum = stats::sumValue(core_g, "l2_hit_lat_sum");
+    const std::uint64_t l2_lat_n =
+        stats::sumScalar(core_g, "l2_hit_lat_samples");
+
+    // L1 data caches (Fig. 9).
+    const std::uint64_t l1_accesses = stats::sumScalar(l1d_g, "accesses");
+    const std::uint64_t l1_read_hits =
+        stats::sumScalar(l1d_g, "read_hits");
+    const std::uint64_t l1_read_misses =
+        stats::sumScalar(l1d_g, "read_misses");
+    const std::uint64_t l1_merges = stats::sumScalar(l1d_g, "mshr_merges");
+    std::array<std::uint64_t, numCacheStallCauses> l1_stalls{};
+    for (unsigned i = 0; i < numCacheStallCauses; ++i)
+        l1_stalls[i] = stats::sumVectorAt(l1d_g, "stall_cycles", i);
 
     r.ipc = r.coreCycles
                 ? static_cast<double>(r.warpInstsIssued) /
@@ -321,43 +209,36 @@ Gpu::harvest() const
         }
     }
 
-    // Memory-side aggregation (absent in ideal modes).
-    stats::OccupancyHist l2q, dramq;
-    std::array<std::uint64_t, numCacheStallCauses> l2_stalls{};
-    std::uint64_t l2_read_hits = 0, l2_read_misses = 0, l2_merges = 0;
-    std::uint64_t l2_accesses = 0;
-    std::uint64_t bus_busy = 0, pending = 0;
-    std::uint64_t act = 0, cols = 0;
-
-    for (const auto &p : parts) {
-        l2q.merge(p->l2AccessQueueHist());
-        dramq.merge(p->dramQueueHist());
-        for (std::uint32_t b = 0; b < cfg.l2BanksPerPartition; ++b) {
-            const CacheCounters &cc = p->l2Bank(b).counters();
-            l2_accesses += cc.accesses;
-            l2_read_hits += cc.readHits;
-            l2_read_misses += cc.readMisses;
-            l2_merges += cc.mshrMerges;
-            for (unsigned i = 0; i < numCacheStallCauses; ++i)
-                l2_stalls[i] += cc.stallCycles[i];
-        }
-        if (cfg.mode == MemoryMode::Normal) {
-            const DramCounters &dc = p->dram().counters();
-            bus_busy += dc.dataBusBusyCycles;
-            pending += dc.pendingCycles;
-            act += dc.activates;
-            cols += dc.reads + dc.writes;
-            r.dramReads += dc.reads;
-            r.dramWrites += dc.writes;
-        }
-    }
-
+    // Memory side (no "part*" groups under an ideal hierarchy, so the
+    // sums are zero and every derived value below stays 0 -- exactly
+    // the ideal-mode semantics, with no mode branch).
+    const std::uint64_t l2q_lifetime =
+        stats::sumScalar(part_g, "l2_access_occ_lifetime");
+    const std::uint64_t dramq_lifetime =
+        stats::sumScalar(part_g, "dram_occ_lifetime");
     for (unsigned i = 0; i < stats::numOccBands; ++i) {
-        auto band = static_cast<stats::OccBand>(i);
-        r.l2AccessQueueOcc[i] = l2q.fraction(band);
-        r.dramQueueOcc[i] = dramq.fraction(band);
+        const std::uint64_t l2n =
+            stats::sumVectorAt(part_g, "l2_access_occ", i);
+        const std::uint64_t dn = stats::sumVectorAt(part_g, "dram_occ", i);
+        r.l2AccessQueueOcc[i] =
+            l2q_lifetime ? static_cast<double>(l2n) /
+                               static_cast<double>(l2q_lifetime)
+                         : 0.0;
+        r.dramQueueOcc[i] =
+            dramq_lifetime ? static_cast<double>(dn) /
+                                 static_cast<double>(dramq_lifetime)
+                           : 0.0;
     }
-    r.l2Accesses = l2_accesses;
+
+    const std::uint64_t l2_read_hits = stats::sumScalar(l2b_g, "read_hits");
+    const std::uint64_t l2_read_misses =
+        stats::sumScalar(l2b_g, "read_misses");
+    const std::uint64_t l2_merges = stats::sumScalar(l2b_g, "mshr_merges");
+    std::array<std::uint64_t, numCacheStallCauses> l2_stalls{};
+    for (unsigned i = 0; i < numCacheStallCauses; ++i)
+        l2_stalls[i] = stats::sumVectorAt(l2b_g, "stall_cycles", i);
+
+    r.l2Accesses = stats::sumScalar(l2b_g, "accesses");
     std::uint64_t l2_reads = l2_read_hits + l2_read_misses + l2_merges;
     r.l2MissRate = l2_reads ? static_cast<double>(l2_read_misses) /
                                   static_cast<double>(l2_reads)
@@ -375,6 +256,17 @@ Gpu::harvest() const
                                static_cast<double>(l2_stall_total);
         }
     }
+
+    // DRAM (no "part*.dram" groups in P_DRAM mode: the channel is an
+    // ideal pipe inside the partition, measured as nothing).
+    const std::uint64_t bus_busy =
+        stats::sumScalar(dram_g, "data_bus_busy_cycles");
+    const std::uint64_t pending = stats::sumScalar(dram_g, "pending_cycles");
+    const std::uint64_t act = stats::sumScalar(dram_g, "activates");
+    r.dramReads = stats::sumScalar(dram_g, "reads");
+    r.dramWrites = stats::sumScalar(dram_g, "writes");
+    const std::uint64_t cols = r.dramReads + r.dramWrites;
+
     r.dramEfficiency =
         pending ? static_cast<double>(bus_busy) /
                       static_cast<double>(pending)

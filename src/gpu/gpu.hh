@@ -1,30 +1,37 @@
 /**
  * @file
- * Gpu: the full modelled chip -- 15 SIMT cores, the two crossbar
- * networks, six memory partitions (12 L2 banks + 6 GDDR5 channels) --
- * advanced by a three-domain clock (core / crossbar+L2 / DRAM).
+ * Gpu: the full modelled chip -- 15 SIMT cores in front of a pluggable
+ * MemSystem (crossbars + memory partitions, or one of the paper's
+ * ideal-memory models) -- advanced by a three-domain clock
+ * (core / crossbar+L2 / DRAM).
  *
  * The Gpu is also the WorkSource feeding CTAs from the selected
- * BenchmarkProfile to the cores, and implements the paper's three
- * ideal-memory modes (P-inf, P_DRAM, fixed-L1-miss-latency) so the
- * bounding experiments of Table II and Fig. 3 are plain configs.
+ * BenchmarkProfile to the cores. Which memory hierarchy sits below the
+ * L1s is entirely the MemSystem's business (see mem/mem_system.hh):
+ * the tick and completion paths here are mode-free, so the bounding
+ * experiments of Table II and Fig. 3 are plain configs.
+ *
+ * Every component registers its counters in the stats tree rooted at
+ * the "gpu" group ("core<N>" with "l1d"/"l1i" children, "icnt" with
+ * "req"/"reply", "part<N>" with "l2b<B>"/"dram"); harvest() is a
+ * declarative mapping from that tree into SimResult, and dumpStats()
+ * prints the whole tree (the CLI's --dump-stats).
  */
 
 #ifndef BWSIM_GPU_GPU_HH
 #define BWSIM_GPU_GPU_HH
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
-#include "cache/tag_array.hh"
-#include "dram/memory_partition.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/sim_result.hh"
-#include "icnt/crossbar.hh"
-#include "mem/addr_map.hh"
 #include "mem/mem_fetch.hh"
+#include "mem/mem_system.hh"
 #include "sim/clock.hh"
 #include "smcore/sm_core.hh"
+#include "stats/stat.hh"
 #include "workloads/profile.hh"
 
 namespace bwsim
@@ -56,43 +63,40 @@ class Gpu : public WorkSource
     const GpuConfig &config() const { return cfg; }
     const BenchmarkProfile &profile() const { return prof; }
     SmCore &core(int i) { return *cores.at(i); }
-    MemoryPartition &partition(int i) { return *parts.at(i); }
-    Interconnect *interconnect() { return icnt.get(); }
+    MemSystem &memSystem() { return *memSys; }
+    const MemSystem &memSystem() const { return *memSys; }
+    /** Null when the config models an ideal (network-free) hierarchy. */
+    Interconnect *interconnect() { return memSys->interconnect(); }
     const MemFetchAllocator &allocator() const { return alloc; }
     std::uint64_t coreCycles() const { return coreCycleCount; }
     bool allWorkDone() const;
     SimResult harvest() const;
     /**@}*/
 
+    /** @name The statistics tree rooted at this chip ("gpu") */
+    /**@{*/
+    stats::Group &statsTree() { return statsRoot; }
+    const stats::Group &statsTree() const { return statsRoot; }
+    /** Print every stat as "gpu.<path>.<stat> value # desc" lines. */
+    void dumpStats(std::ostream &os) const;
+    /**@}*/
+
   private:
     void coreTick();
-    void icntTick();
-    void dramTick();
-    void serviceIdealMemory(int core_id);
-    void drainCoreOutgoing(int core_id);
 
     GpuConfig cfg;
     BenchmarkProfile prof;
-    AddressMap amap;
     MemFetchAllocator alloc;
 
     MultiClock clocks;
     std::size_t coreDomain = 0, icntDomain = 0, dramDomain = 0;
     std::uint64_t coreCycleCount = 0;
 
-    std::vector<std::unique_ptr<SmCore>> cores;
-    std::unique_ptr<Interconnect> icnt;
-    std::vector<std::unique_ptr<MemoryPartition>> parts;
+    /** Root of the stats tree; components register into it below. */
+    stats::Group statsRoot{"gpu"};
 
-    /**
-     * Ideal below-L1 memory (PerfectMem / FixedL1Lat modes). Two pipes
-     * per core -- one per constant latency class (P-inf L2 hits vs
-     * DRAM) -- so the FIFO pipes never delay a fast response behind a
-     * slow one.
-     */
-    std::vector<DelayPipe<MemFetch *>> idealPipesFast; ///< per core
-    std::vector<DelayPipe<MemFetch *>> idealPipesSlow; ///< per core
-    std::unique_ptr<TagArray> perfectL2Tags;
+    std::vector<std::unique_ptr<SmCore>> cores;
+    std::unique_ptr<MemSystem> memSys;
 
     int ctasRemaining = 0;
     std::uint64_t ctaSeq = 0;

@@ -349,6 +349,75 @@ GpuConfig::fixedL1Lat(std::uint32_t latency_cycles)
     return c;
 }
 
+namespace
+{
+
+/** The fixed presets, keyed by the name each factory stamps on its
+ *  config (what SimResult::config and the tables print). */
+const std::vector<std::pair<std::string, GpuConfig (*)()>> &
+presetFactories()
+{
+    static const std::vector<std::pair<std::string, GpuConfig (*)()>>
+        factories = {
+            {"baseline", &GpuConfig::baseline},
+            {"L1", &GpuConfig::scaledL1},
+            {"L2", &GpuConfig::scaledL2},
+            {"DRAM", &GpuConfig::scaledDram},
+            {"L1+L2", &GpuConfig::scaledL1L2},
+            {"L2+DRAM", &GpuConfig::scaledL2Dram},
+            {"All", &GpuConfig::scaledAll},
+            {"HBM", &GpuConfig::hbm},
+            {"16+48", &GpuConfig::costEffective16_48},
+            {"16+68", &GpuConfig::costEffective16_68},
+            {"32+52", &GpuConfig::costEffective32_52},
+            {"P-inf", &GpuConfig::perfectMem},
+            {"P-DRAM", &GpuConfig::idealDram},
+        };
+    return factories;
+}
+
+} // anonymous namespace
+
+bool
+findConfigPreset(const std::string &name, GpuConfig &out)
+{
+    for (const auto &[preset_name, factory] : presetFactories()) {
+        if (preset_name == name) {
+            out = factory();
+            return true;
+        }
+    }
+    // The Fig. 3 sweep family: "fixed-<latency>". Strict decimal with
+    // an explicit range check -- out-of-range input is an unknown
+    // preset, never a silently wrapped latency.
+    const std::string prefix = "fixed-";
+    if (name.rfind(prefix, 0) == 0) {
+        const std::string digits = name.substr(prefix.size());
+        if (!digits.empty() && digits.size() <= 10 &&
+            digits.find_first_not_of("0123456789") == std::string::npos) {
+            std::uint64_t v = 0;
+            for (char c : digits)
+                v = v * 10 + static_cast<unsigned>(c - '0');
+            if (v <= 0xffffffffULL) {
+                out = GpuConfig::fixedL1Lat(
+                    static_cast<std::uint32_t>(v));
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+configPresetNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[preset_name, factory] : presetFactories())
+        names.push_back(preset_name);
+    names.push_back("fixed-<N>");
+    return names;
+}
+
 #if defined(__GLIBCXX__) && defined(__x86_64__) && _GLIBCXX_USE_CXX11_ABI
 // Trip-wire for cacheKey() completeness: growing GpuConfig trips this
 // assert, forcing the new field to be considered for the key below

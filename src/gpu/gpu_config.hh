@@ -206,6 +206,16 @@ struct GpuConfig
 };
 
 /**
+ * Resolve a preset by the name its factory stamps on the config
+ * ("baseline", "L2+DRAM", "P-inf", "fixed-200", ...). Behind the
+ * CLI's --config= flag. False when @p name matches no preset.
+ */
+bool findConfigPreset(const std::string &name, GpuConfig &out);
+
+/** Every accepted preset name, for error messages ("fixed-<N>" last). */
+std::vector<std::string> configPresetNames();
+
+/**
  * Version of the serialized GpuConfig layout. Bump it whenever
  * serializeConfig()/deserializeConfig() change shape: the work-queue
  * job files embed it and reject jobs written by a different layout.

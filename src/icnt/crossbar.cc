@@ -24,6 +24,24 @@ CrossbarNetwork::CrossbarNetwork(const NetworkParams &params) : cfg(params)
     grant.assign(cfg.numDests, -1);
 }
 
+void
+CrossbarNetwork::registerStats(stats::Group &parent,
+                               const std::string &name)
+{
+    stats::Group &g = parent.createChild(name);
+    g.bindScalar("packets_injected", "packets accepted at the sources",
+                 ctr.packetsInjected);
+    g.bindScalar("packets_ejected", "packets delivered at the sinks",
+                 ctr.packetsEjected);
+    g.bindScalar("flits_transferred", "flits moved across the crossbar",
+                 ctr.flitsTransferred);
+    g.bindScalar("bytes_carried", "payload bytes carried",
+                 ctr.bytesCarried);
+    g.bindScalar("eject_blocked_cycles",
+                 "output-port cycles blocked on a full ejection buffer",
+                 ctr.ejectBlockedCycles);
+}
+
 bool
 CrossbarNetwork::canAccept(std::uint32_t src) const
 {

@@ -33,6 +33,7 @@
 #include "mem/mem_fetch.hh"
 #include "sim/queue.hh"
 #include "stats/occupancy_hist.hh"
+#include "stats/stat.hh"
 
 namespace bwsim
 {
@@ -71,6 +72,10 @@ class CrossbarNetwork
 
     const NetworkParams &params() const { return cfg; }
     const NetworkCounters &counters() const { return ctr; }
+
+    /** Register this network's counters as a child group @p name of
+     *  @p parent. Call once, after construction. */
+    void registerStats(stats::Group &parent, const std::string &name);
 
     /** Can source @p src enqueue another packet this cycle? */
     bool canAccept(std::uint32_t src) const;
@@ -135,6 +140,15 @@ class Interconnect
     CrossbarNetwork &reply() { return replyNet; }
     const CrossbarNetwork &request() const { return reqNet; }
     const CrossbarNetwork &reply() const { return replyNet; }
+
+    /** Register both networks as "icnt" (children "req" / "reply"). */
+    void
+    registerStats(stats::Group &parent)
+    {
+        stats::Group &g = parent.createChild("icnt");
+        reqNet.registerStats(g, "req");
+        replyNet.registerStats(g, "reply");
+    }
 
     void
     tick()

@@ -1,0 +1,190 @@
+#include "mem/mem_system.hh"
+
+namespace bwsim
+{
+
+NormalMemSystem::NormalMemSystem(const GpuConfig &config,
+                                 MemFetchAllocator *allocator,
+                                 stats::Group &stats_parent)
+    : cfg(config), amap(cfg.addressMap())
+{
+    icnt = std::make_unique<Interconnect>(cfg.reqNetParams(),
+                                          cfg.replyNetParams());
+    icnt->registerStats(stats_parent);
+    for (std::uint32_t p = 0; p < cfg.numPartitions; ++p) {
+        parts.push_back(std::make_unique<MemoryPartition>(
+            cfg.partitionParams(static_cast<int>(p)), allocator,
+            icnt.get()));
+        parts.back()->registerStats(stats_parent);
+    }
+}
+
+void
+NormalMemSystem::deliverResponses(int core_id, SmCore &core, double now_ps,
+                                  std::uint64_t)
+{
+    // One response per cycle from the core's response FIFO.
+    auto &reply = icnt->reply();
+    if (reply.ejectReady(static_cast<std::uint32_t>(core_id))) {
+        MemFetch *mf = reply.ejectPop(static_cast<std::uint32_t>(core_id));
+        core.deliverResponse(mf, now_ps);
+    }
+}
+
+void
+NormalMemSystem::acceptRequests(int core_id, SmCore &core, double now_ps,
+                                std::uint64_t)
+{
+    if (!core.hasOutgoing())
+        return;
+    auto &req = icnt->request();
+    if (!req.canAccept(static_cast<std::uint32_t>(core_id)))
+        return;
+    MemFetch *mf = core.peekOutgoing();
+    mf->partitionId = static_cast<int>(amap.partitionOf(mf->lineAddr));
+    mf->l2BankId = static_cast<int>(amap.bankOf(mf->lineAddr));
+    core.popOutgoing();
+    if (mf->tLeftL1 == 0)
+        mf->tLeftL1 = now_ps;
+    req.inject(static_cast<std::uint32_t>(core_id),
+               static_cast<std::uint32_t>(mf->l2BankId), mf,
+               mf->requestBytes(), now_ps);
+}
+
+void
+NormalMemSystem::icntTick(double now_ps)
+{
+    icnt->tick();
+    for (auto &p : parts)
+        p->tickL2(now_ps);
+}
+
+void
+NormalMemSystem::dramTick(double now_ps)
+{
+    for (auto &p : parts)
+        p->tickDram(now_ps);
+}
+
+bool
+NormalMemSystem::drained() const
+{
+    if (icnt->packetsInFlight() != 0)
+        return false;
+    for (const auto &p : parts)
+        if (!p->drained())
+            return false;
+    return true;
+}
+
+IdealMemSystem::IdealMemSystem(const GpuConfig &config,
+                               MemFetchAllocator *allocator, stats::Group &)
+    : cfg(config), alloc(allocator)
+{
+    pipesFast.resize(cfg.numCores);
+    pipesSlow.resize(cfg.numCores);
+    if (cfg.mode == MemoryMode::PerfectMem) {
+        perfectL2Tags = std::make_unique<TagArray>(cfg.l2TotalSizeBytes,
+                                                   cfg.lineBytes,
+                                                   cfg.l2Assoc);
+    }
+}
+
+void
+IdealMemSystem::deliverResponses(int core_id, SmCore &core, double now_ps,
+                                 std::uint64_t core_cycle)
+{
+    service(core_id, core, now_ps, core_cycle);
+}
+
+void
+IdealMemSystem::acceptRequests(int core_id, SmCore &core, double now_ps,
+                               std::uint64_t core_cycle)
+{
+    service(core_id, core, now_ps, core_cycle);
+}
+
+void
+IdealMemSystem::service(int core_id, SmCore &core, double now_ps,
+                        std::uint64_t core_cycle)
+{
+    // Infinite-bandwidth backend: drain every miss the core produced
+    // and schedule its response at the mode's fixed latency.
+    while (core.hasOutgoing()) {
+        MemFetch *mf = core.peekOutgoing();
+        core.popOutgoing();
+        if (mf->isWrite()) {
+            alloc->free(mf); // stores vanish into the ideal sink
+            continue;
+        }
+        if (mf->tLeftL1 == 0)
+            mf->tLeftL1 = now_ps;
+        bool fast = false;
+        std::uint32_t lat;
+        if (cfg.mode == MemoryMode::PerfectMem) {
+            ProbeOutcome probe = perfectL2Tags->probe(mf->lineAddr);
+            if (probe.result == ProbeResult::Hit) {
+                perfectL2Tags->accessHit(mf->lineAddr, probe.way,
+                                         core_cycle, false);
+                mf->servicedBy = ServicedBy::L2;
+                lat = cfg.perfectL2Latency;
+                fast = true;
+            } else {
+                bwsim_assert(probe.result != ProbeResult::MissNoLine,
+                             "perfect L2 tags can never be reservation "
+                             "limited");
+                perfectL2Tags->reserve(mf->lineAddr, probe.way,
+                                      core_cycle);
+                perfectL2Tags->fill(mf->lineAddr, core_cycle, false);
+                mf->servicedBy = ServicedBy::Dram;
+                lat = cfg.perfectDramLatency;
+            }
+        } else { // FixedL1Lat
+            mf->servicedBy = ServicedBy::Dram;
+            lat = cfg.fixedL1MissLatency;
+        }
+        auto &pipe = fast ? pipesFast[core_id] : pipesSlow[core_id];
+        pipe.push(mf, core_cycle + lat);
+    }
+
+    for (auto *pipe : {&pipesFast[core_id], &pipesSlow[core_id]}) {
+        while (pipe->ready(core_cycle)) {
+            MemFetch *mf = pipe->pop();
+            core.deliverResponse(mf, now_ps);
+        }
+    }
+}
+
+bool
+IdealMemSystem::drained() const
+{
+    for (const auto &p : pipesFast)
+        if (!p.empty())
+            return false;
+    for (const auto &p : pipesSlow)
+        if (!p.empty())
+            return false;
+    return true;
+}
+
+std::unique_ptr<MemSystem>
+makeMemSystem(const GpuConfig &config, MemFetchAllocator *allocator,
+              stats::Group &stats_parent)
+{
+    switch (config.mode) {
+      case MemoryMode::Normal:
+      case MemoryMode::IdealDram:
+        // P_DRAM keeps the real crossbars and L2; only the channel
+        // inside each partition is idealized (PartitionParams.idealDram
+        // set by GpuConfig::partitionParams()).
+        return std::make_unique<NormalMemSystem>(config, allocator,
+                                                 stats_parent);
+      case MemoryMode::PerfectMem:
+      case MemoryMode::FixedL1Lat:
+        return std::make_unique<IdealMemSystem>(config, allocator,
+                                                stats_parent);
+    }
+    panic("invalid memory mode %u", static_cast<unsigned>(config.mode));
+}
+
+} // namespace bwsim

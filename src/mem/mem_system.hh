@@ -1,0 +1,169 @@
+/**
+ * @file
+ * MemSystem: the seam between the SIMT cores and everything below
+ * their L1 caches.
+ *
+ * The paper's method is to re-model the below-L1 hierarchy in
+ * controlled ways -- the full crossbar+L2+GDDR5 system, the P-inf and
+ * P_DRAM bounds of Table II, and the fixed-L1-miss-latency sweep of
+ * Fig. 3 -- and compare. Each of those is one MemSystem
+ * implementation; the Gpu tick/done paths talk only to this interface
+ * and contain no per-mode branching, so a new hierarchy variant (an
+ * L1-bypass read path, a partition-count-decoupled L2, ...) is a new
+ * implementation plus a config knob, not engine surgery.
+ *
+ * Implementations register every component's counters in the stats
+ * tree the Gpu roots at "gpu": NormalMemSystem contributes "icnt"
+ * (children "req"/"reply") and "part<N>" (children "l2b<B>" and,
+ * when a GDDR5 channel is modelled, "dram", plus the queue-occupancy
+ * histograms). Gpu::harvest() reads the tree by name -- it never
+ * talks to the components directly -- so any MemSystem that names its
+ * groups the same way is measured for free.
+ */
+
+#ifndef BWSIM_MEM_MEM_SYSTEM_HH
+#define BWSIM_MEM_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/tag_array.hh"
+#include "dram/memory_partition.hh"
+#include "gpu/gpu_config.hh"
+#include "icnt/crossbar.hh"
+#include "mem/addr_map.hh"
+#include "mem/mem_fetch.hh"
+#include "sim/queue.hh"
+#include "smcore/sm_core.hh"
+
+namespace bwsim
+{
+
+/** Everything below the cores' L1 caches, behind one interface. */
+class MemSystem
+{
+  public:
+    virtual ~MemSystem() = default;
+
+    /**
+     * Deliver any ready responses to @p core. Called once per core
+     * per core cycle, before the core ticks.
+     *
+     * @param core_cycle the core-domain cycle count (latency pipes)
+     */
+    virtual void deliverResponses(int core_id, SmCore &core,
+                                  double now_ps,
+                                  std::uint64_t core_cycle) = 0;
+
+    /**
+     * Drain @p core's outgoing miss traffic into this memory system.
+     * Called once per core per core cycle, after the core ticks.
+     */
+    virtual void acceptRequests(int core_id, SmCore &core, double now_ps,
+                                std::uint64_t core_cycle) = 0;
+
+    /** One interconnect/L2 clock cycle. */
+    virtual void icntTick(double now_ps) = 0;
+
+    /** One DRAM command-clock cycle. */
+    virtual void dramTick(double now_ps) = 0;
+
+    /** No request or response is buffered anywhere below the cores. */
+    virtual bool drained() const = 0;
+
+    /** @name Introspection (null when the level is not modelled) */
+    /**@{*/
+    virtual Interconnect *interconnect() { return nullptr; }
+    virtual MemoryPartition *partition(int) { return nullptr; }
+    virtual int numPartitions() const { return 0; }
+    /**@}*/
+};
+
+/**
+ * The full modelled hierarchy: request/reply crossbars and the memory
+ * partitions (L2 banks + GDDR5 channel, or the P_DRAM ideal-DRAM pipe
+ * when the config says so -- that distinction lives entirely inside
+ * MemoryPartition).
+ */
+class NormalMemSystem : public MemSystem
+{
+  public:
+    /** @p config must outlive this object (the Gpu's own copy). */
+    NormalMemSystem(const GpuConfig &config, MemFetchAllocator *allocator,
+                    stats::Group &stats_parent);
+
+    void deliverResponses(int core_id, SmCore &core, double now_ps,
+                          std::uint64_t core_cycle) override;
+    void acceptRequests(int core_id, SmCore &core, double now_ps,
+                        std::uint64_t core_cycle) override;
+    void icntTick(double now_ps) override;
+    void dramTick(double now_ps) override;
+    bool drained() const override;
+
+    Interconnect *interconnect() override { return icnt.get(); }
+    MemoryPartition *
+    partition(int i) override
+    {
+        return parts.at(static_cast<std::size_t>(i)).get();
+    }
+    int numPartitions() const override { return int(parts.size()); }
+
+  private:
+    const GpuConfig &cfg;
+    AddressMap amap;
+    std::unique_ptr<Interconnect> icnt;
+    std::vector<std::unique_ptr<MemoryPartition>> parts;
+};
+
+/**
+ * The idealized below-L1 memory of the paper's bounding experiments:
+ * infinite bandwidth, constant latency. Covers P-inf (PerfectMem: an
+ * infinite L2 with fixed hit/DRAM latencies, modelled by a perfect
+ * tag array) and the Fig. 3 FixedL1Lat mode (every miss returns after
+ * one constant latency). Stores vanish into the ideal sink.
+ */
+class IdealMemSystem : public MemSystem
+{
+  public:
+    IdealMemSystem(const GpuConfig &config, MemFetchAllocator *allocator,
+                   stats::Group &stats_parent);
+
+    void deliverResponses(int core_id, SmCore &core, double now_ps,
+                          std::uint64_t core_cycle) override;
+    void acceptRequests(int core_id, SmCore &core, double now_ps,
+                        std::uint64_t core_cycle) override;
+    void icntTick(double) override {}
+    void dramTick(double) override {}
+    bool drained() const override;
+
+  private:
+    /** Drain the core's misses and deliver matured responses. */
+    void service(int core_id, SmCore &core, double now_ps,
+                 std::uint64_t core_cycle);
+
+    const GpuConfig &cfg;
+    MemFetchAllocator *alloc;
+
+    /**
+     * Two pipes per core -- one per constant latency class (P-inf L2
+     * hits vs DRAM) -- so the FIFO pipes never delay a fast response
+     * behind a slow one.
+     */
+    std::vector<DelayPipe<MemFetch *>> pipesFast; ///< per core
+    std::vector<DelayPipe<MemFetch *>> pipesSlow; ///< per core
+    std::unique_ptr<TagArray> perfectL2Tags;      ///< PerfectMem only
+};
+
+/**
+ * Build the MemSystem for @p config.mode and register its stats under
+ * @p stats_parent. The only place in the engine that inspects
+ * MemoryMode.
+ */
+std::unique_ptr<MemSystem> makeMemSystem(const GpuConfig &config,
+                                         MemFetchAllocator *allocator,
+                                         stats::Group &stats_parent);
+
+} // namespace bwsim
+
+#endif // BWSIM_MEM_MEM_SYSTEM_HH

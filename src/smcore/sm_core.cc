@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/intmath.hh"
+#include "stats/stat.hh"
 
 namespace bwsim
 {
@@ -39,6 +40,51 @@ SmCore::SmCore(const CoreParams &params, MemFetchAllocator *allocator)
     l1ip.name = csprintf("l1i_c%d", cfg.coreId);
     l1ip.writePolicy = WritePolicy::ReadOnly;
     l1iCache = std::make_unique<CacheModel>(l1ip, alloc, cfg.coreId);
+}
+
+void
+SmCore::registerStats(stats::Group &parent)
+{
+    stats::Group &g = parent.createChild(csprintf("core%d", cfg.coreId));
+    g.bindScalar("cycles", "core cycles ticked", ctr.cycles);
+    g.bindScalar("active_cycles", "cycles before this core finished",
+                 ctr.activeCycles);
+    g.bindScalar("issued_insts", "warp instructions issued",
+                 ctr.issuedInsts);
+    g.bindScalar("issued_cycles", "cycles with at least one issue",
+                 ctr.issuedCycles);
+    g.bindScalar("loads_issued", "load instructions issued",
+                 ctr.loadsIssued);
+    g.bindScalar("stores_issued", "store instructions issued",
+                 ctr.storesIssued);
+    g.bindScalar("l1_accesses", "coalesced accesses presented to the L1D",
+                 ctr.l1Accesses);
+    g.bindScalar("ctas_completed", "thread blocks retired",
+                 ctr.ctasCompleted);
+    g.bindScalar("warps_completed", "warps retired", ctr.warpsCompleted);
+    std::vector<std::string> causes;
+    for (unsigned i = 0; i < numIssueStallCauses; ++i)
+        causes.push_back(issueStallName(static_cast<IssueStall>(i)));
+    g.bindVector("issue_stalls", "no-issue cycles by cause (Fig. 7)",
+                 ctr.issueStalls.data(), numIssueStallCauses,
+                 std::move(causes));
+    g.bindValue("mem_lat_sum", "summed L1-miss latencies (core cycles)",
+                ctr.memLatSum);
+    g.bindScalar("mem_lat_samples", "L1-miss latency samples",
+                 ctr.memLatCount);
+    g.bindValue("l2_hit_lat_sum", "summed L2-hit latencies (core cycles)",
+                ctr.l2HitLatSum);
+    g.bindScalar("l2_hit_lat_samples", "L2-hit latency samples",
+                 ctr.l2HitLatCount);
+    g.formula("avg_mem_lat", "average L1-miss latency (AML input)",
+              [this] {
+                  return ctr.memLatCount
+                             ? ctr.memLatSum /
+                                   static_cast<double>(ctr.memLatCount)
+                             : 0.0;
+              });
+    l1dCache->registerStats(g, "l1d");
+    l1iCache->registerStats(g, "l1i");
 }
 
 void

@@ -47,6 +47,11 @@
 namespace bwsim
 {
 
+namespace stats
+{
+class Group;
+}
+
 /** Warp scheduling policy. */
 enum class SchedPolicy : std::uint8_t
 {
@@ -128,6 +133,13 @@ class SmCore
 
     const CoreParams &params() const { return cfg; }
     const CoreCounters &counters() const { return ctr; }
+
+    /**
+     * Register this core's counters (and its L1D/L1I caches') as a
+     * child group "core<N>" of @p parent. Call once, after
+     * construction.
+     */
+    void registerStats(stats::Group &parent);
     CacheModel &l1d() { return *l1dCache; }
     CacheModel &l1i() { return *l1iCache; }
     const CacheModel &l1d() const { return *l1dCache; }

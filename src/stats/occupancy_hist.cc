@@ -1,5 +1,7 @@
 #include "stats/occupancy_hist.hh"
 
+#include "stats/stat.hh"
+
 namespace bwsim::stats
 {
 
@@ -20,6 +22,19 @@ occBandLabel(OccBand band)
       default:
         panic("invalid occupancy band %u", static_cast<unsigned>(band));
     }
+}
+
+void
+OccupancyHist::registerStats(Group &parent, const std::string &name,
+                             const std::string &desc)
+{
+    std::vector<std::string> labels;
+    for (unsigned i = 0; i < numOccBands; ++i)
+        labels.push_back(occBandLabel(static_cast<OccBand>(i)));
+    parent.bindVector(name, desc, counts.data(), numOccBands,
+                      std::move(labels));
+    parent.bindScalar(name + "_lifetime",
+                      "non-empty cycles behind '" + name + "'", lifetime);
 }
 
 } // namespace bwsim::stats

@@ -22,6 +22,8 @@
 namespace bwsim::stats
 {
 
+class Group;
+
 /** The five occupancy bands of the paper's stacked-bar figures. */
 enum class OccBand : unsigned
 {
@@ -97,6 +99,14 @@ class OccupancyHist
         counts.fill(0);
         lifetime = 0;
     }
+
+    /**
+     * Register this histogram in @p parent as a BoundVector @p name
+     * (per-band cycle counts, labelled per the paper's legend) plus a
+     * "<name>_lifetime" scalar (total non-empty cycles).
+     */
+    void registerStats(Group &parent, const std::string &name,
+                       const std::string &desc);
 
     /** Merge another histogram into this one (for multi-queue averages). */
     void

@@ -61,6 +61,64 @@ Distribution::render() const
     return s;
 }
 
+BoundVector::BoundVector(Group *parent, std::string name, std::string desc,
+                         std::uint64_t *base_, std::size_t n,
+                         std::vector<std::string> element_labels)
+    : StatBase(parent, std::move(name), std::move(desc)), base(base_),
+      count(n), labels(std::move(element_labels))
+{
+    bwsim_assert(base && count > 0, "bound vector '%s' needs elements",
+                 this->name().c_str());
+    bwsim_assert(labels.size() == count,
+                 "bound vector '%s': %zu labels for %zu elements",
+                 this->name().c_str(), labels.size(), count);
+}
+
+std::uint64_t
+BoundVector::at(std::size_t i) const
+{
+    bwsim_assert(i < count, "bound vector '%s': index %zu out of %zu",
+                 name().c_str(), i, count);
+    return base[i];
+}
+
+const std::string &
+BoundVector::label(std::size_t i) const
+{
+    bwsim_assert(i < count, "bound vector '%s': index %zu out of %zu",
+                 name().c_str(), i, count);
+    return labels[i];
+}
+
+std::uint64_t
+BoundVector::total() const
+{
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < count; ++i)
+        n += base[i];
+    return n;
+}
+
+void
+BoundVector::reset()
+{
+    std::fill(base, base + count, 0);
+}
+
+std::string
+BoundVector::render() const
+{
+    std::string cells;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i)
+            cells += ' ';
+        cells += csprintf("%s=%llu", labels[i].c_str(),
+                          static_cast<unsigned long long>(base[i]));
+    }
+    return csprintf("%-40s %s  # %s", name().c_str(), cells.c_str(),
+                    desc().c_str());
+}
+
 Group::Group(std::string name, Group *parent_)
     : groupName(std::move(name)), parent(parent_)
 {
@@ -92,6 +150,74 @@ Group::removeChild(Group *child)
     kids.erase(std::remove(kids.begin(), kids.end(), child), kids.end());
 }
 
+Group &
+Group::createChild(std::string name)
+{
+    ownedKids.push_back(std::make_unique<Group>(std::move(name), this));
+    return *ownedKids.back();
+}
+
+BoundScalar &
+Group::bindScalar(std::string name, std::string desc, std::uint64_t &src)
+{
+    auto s = std::make_unique<BoundScalar>(this, std::move(name),
+                                           std::move(desc), &src);
+    BoundScalar &ref = *s;
+    ownedStats.push_back(std::move(s));
+    return ref;
+}
+
+BoundValue &
+Group::bindValue(std::string name, std::string desc, double &src)
+{
+    auto s = std::make_unique<BoundValue>(this, std::move(name),
+                                          std::move(desc), &src);
+    BoundValue &ref = *s;
+    ownedStats.push_back(std::move(s));
+    return ref;
+}
+
+BoundVector &
+Group::bindVector(std::string name, std::string desc, std::uint64_t *base,
+                  std::size_t n, std::vector<std::string> labels)
+{
+    auto s = std::make_unique<BoundVector>(this, std::move(name),
+                                           std::move(desc), base, n,
+                                           std::move(labels));
+    BoundVector &ref = *s;
+    ownedStats.push_back(std::move(s));
+    return ref;
+}
+
+Formula &
+Group::formula(std::string name, std::string desc,
+               std::function<double()> fn)
+{
+    auto s = std::make_unique<Formula>(this, std::move(name),
+                                       std::move(desc), std::move(fn));
+    Formula &ref = *s;
+    ownedStats.push_back(std::move(s));
+    return ref;
+}
+
+const Group *
+Group::child(const std::string &name) const
+{
+    for (const Group *g : kids)
+        if (g->name() == name)
+            return g;
+    return nullptr;
+}
+
+const StatBase *
+Group::stat(const std::string &name) const
+{
+    for (const StatBase *s : statsVec)
+        if (s->name() == name)
+            return s;
+    return nullptr;
+}
+
 void
 Group::resetAll()
 {
@@ -109,6 +235,109 @@ Group::dump(std::ostream &os, const std::string &prefix) const
         os << path << "." << s->render() << "\n";
     for (const auto *g : kids)
         g->dump(os, path);
+}
+
+namespace
+{
+
+/** Does @p name match @p seg (exact, or prefix when seg ends in '*')? */
+bool
+segmentMatches(const std::string &seg, const std::string &name)
+{
+    if (!seg.empty() && seg.back() == '*')
+        return name.compare(0, seg.size() - 1, seg, 0, seg.size() - 1) ==
+               0;
+    return name == seg;
+}
+
+void
+collectMatches(const Group &g, const std::vector<std::string> &segs,
+               std::size_t depth, std::vector<const Group *> &out)
+{
+    if (depth == segs.size()) {
+        out.push_back(&g);
+        return;
+    }
+    for (const Group *kid : g.children())
+        if (segmentMatches(segs[depth], kid->name()))
+            collectMatches(*kid, segs, depth + 1, out);
+}
+
+const StatBase &
+requireStat(const Group &g, const std::string &stat)
+{
+    const StatBase *s = g.stat(stat);
+    if (!s)
+        panic("stats group '%s' has no stat '%s'", g.name().c_str(),
+              stat.c_str());
+    return *s;
+}
+
+} // anonymous namespace
+
+std::vector<const Group *>
+findGroups(const Group &root, const std::string &pattern)
+{
+    std::vector<std::string> segs;
+    std::string seg;
+    for (char c : pattern) {
+        if (c == '.') {
+            segs.push_back(seg);
+            seg.clear();
+        } else {
+            seg += c;
+        }
+    }
+    segs.push_back(seg);
+    std::vector<const Group *> out;
+    collectMatches(root, segs, 0, out);
+    return out;
+}
+
+std::uint64_t
+sumScalar(const std::vector<const Group *> &groups, const std::string &stat)
+{
+    std::uint64_t n = 0;
+    for (const Group *g : groups) {
+        const auto *s = dynamic_cast<const BoundScalar *>(
+            &requireStat(*g, stat));
+        if (!s)
+            panic("stat '%s.%s' is not a bound scalar",
+                  g->name().c_str(), stat.c_str());
+        n += s->get();
+    }
+    return n;
+}
+
+double
+sumValue(const std::vector<const Group *> &groups, const std::string &stat)
+{
+    double v = 0.0;
+    for (const Group *g : groups) {
+        const auto *s = dynamic_cast<const BoundValue *>(
+            &requireStat(*g, stat));
+        if (!s)
+            panic("stat '%s.%s' is not a bound value",
+                  g->name().c_str(), stat.c_str());
+        v += s->get();
+    }
+    return v;
+}
+
+std::uint64_t
+sumVectorAt(const std::vector<const Group *> &groups,
+            const std::string &stat, std::size_t idx)
+{
+    std::uint64_t n = 0;
+    for (const Group *g : groups) {
+        const auto *s = dynamic_cast<const BoundVector *>(
+            &requireStat(*g, stat));
+        if (!s)
+            panic("stat '%s.%s' is not a bound vector",
+                  g->name().c_str(), stat.c_str());
+        n += s->at(idx);
+    }
+    return n;
 }
 
 } // namespace bwsim::stats

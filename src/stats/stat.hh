@@ -12,6 +12,8 @@
 #define BWSIM_STATS_STAT_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -122,10 +124,105 @@ class Distribution : public StatBase
 };
 
 /**
- * A node in the statistics tree. Groups do not own their stats (the
- * owning component does, as plain members); they only record pointers
- * for dumping, so member declaration order must place the Group before
- * the stats that register with it.
+ * A named view over a plain uint64 counter owned by a component.
+ *
+ * Hot-path components keep their counters in plain structs (no
+ * indirection, no virtual calls per increment) and register bound
+ * stats so the counters show up in the tree by name. reset() writes
+ * through to the underlying counter.
+ */
+class BoundScalar : public StatBase
+{
+  public:
+    BoundScalar(Group *parent, std::string name, std::string desc,
+                std::uint64_t *source)
+        : StatBase(parent, std::move(name), std::move(desc)), src(source)
+    {
+        bwsim_assert(src, "bound scalar '%s' needs a counter",
+                     this->name().c_str());
+    }
+
+    std::uint64_t get() const { return *src; }
+    double value() const override { return static_cast<double>(*src); }
+    void reset() override { *src = 0; }
+
+  private:
+    std::uint64_t *src;
+};
+
+/** BoundScalar's sibling for double-valued accumulators (latency sums). */
+class BoundValue : public StatBase
+{
+  public:
+    BoundValue(Group *parent, std::string name, std::string desc,
+               double *source)
+        : StatBase(parent, std::move(name), std::move(desc)), src(source)
+    {
+        bwsim_assert(src, "bound value '%s' needs a source",
+                     this->name().c_str());
+    }
+
+    double get() const { return *src; }
+    double value() const override { return *src; }
+    void reset() override { *src = 0.0; }
+
+  private:
+    double *src;
+};
+
+/**
+ * A named view over a fixed array of uint64 counters (stall causes,
+ * occupancy bands), with one label per element. The primary value is
+ * the element sum.
+ */
+class BoundVector : public StatBase
+{
+  public:
+    BoundVector(Group *parent, std::string name, std::string desc,
+                std::uint64_t *base, std::size_t n,
+                std::vector<std::string> element_labels);
+
+    std::size_t size() const { return count; }
+    std::uint64_t at(std::size_t i) const;
+    const std::string &label(std::size_t i) const;
+    std::uint64_t total() const;
+
+    double value() const override
+    {
+        return static_cast<double>(total());
+    }
+    void reset() override;
+    std::string render() const override;
+
+  private:
+    std::uint64_t *base;
+    std::size_t count;
+    std::vector<std::string> labels;
+};
+
+/** A derived statistic computed on demand; reset() is a no-op. */
+class Formula : public StatBase
+{
+  public:
+    Formula(Group *parent, std::string name, std::string desc,
+            std::function<double()> fn_)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          fn(std::move(fn_))
+    {}
+
+    double value() const override { return fn(); }
+    void reset() override {}
+
+  private:
+    std::function<double()> fn;
+};
+
+/**
+ * A node in the statistics tree. Groups record pointers to stats that
+ * components own as plain members (declaration order must place the
+ * Group before those stats), and can additionally *own* bound stats
+ * and child groups created through the bind*()/createChild()
+ * factories -- the registration style every simulator component uses.
  */
 class Group
 {
@@ -142,6 +239,26 @@ class Group
     void addChild(Group *child);
     void removeChild(Group *child);
 
+    /** Create a child group owned by (and destroyed with) this group. */
+    Group &createChild(std::string name);
+
+    /** @name Owned-stat factories (views over component counters) */
+    /**@{*/
+    BoundScalar &bindScalar(std::string name, std::string desc,
+                            std::uint64_t &src);
+    BoundValue &bindValue(std::string name, std::string desc, double &src);
+    BoundVector &bindVector(std::string name, std::string desc,
+                            std::uint64_t *base, std::size_t n,
+                            std::vector<std::string> labels);
+    Formula &formula(std::string name, std::string desc,
+                     std::function<double()> fn);
+    /**@}*/
+
+    /** Direct child by exact name; null when absent. */
+    const Group *child(const std::string &name) const;
+    /** Stat of this group by exact name; null when absent. */
+    const StatBase *stat(const std::string &name) const;
+
     /** Recursively reset every stat in this subtree. */
     void resetAll();
 
@@ -156,7 +273,33 @@ class Group
     Group *parent;
     std::vector<StatBase *> statsVec;
     std::vector<Group *> kids;
+    std::vector<std::unique_ptr<StatBase>> ownedStats;
+    std::vector<std::unique_ptr<Group>> ownedKids;
 };
+
+/** @name Tree queries (the declarative harvest layer)
+ *
+ * Patterns are '.'-separated paths below @p root; each segment names a
+ * child exactly, or -- with a trailing '*' -- every child whose name
+ * starts with the prefix ("core*", "part*.l2b*"). Matching groups are
+ * returned in registration order, which components guarantee is
+ * construction order, so floating-point aggregation over a query is
+ * deterministic.
+ */
+/**@{*/
+std::vector<const Group *> findGroups(const Group &root,
+                                      const std::string &pattern);
+
+/** Sum of an exactly-typed stat over @p groups; panics on a missing
+ *  stat or a type mismatch (loud failure beats silent zeros). */
+std::uint64_t sumScalar(const std::vector<const Group *> &groups,
+                        const std::string &stat);
+double sumValue(const std::vector<const Group *> &groups,
+                const std::string &stat);
+/** Sum of element @p idx of a BoundVector stat over @p groups. */
+std::uint64_t sumVectorAt(const std::vector<const Group *> &groups,
+                          const std::string &stat, std::size_t idx);
+/**@}*/
 
 } // namespace bwsim::stats
 

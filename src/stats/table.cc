@@ -127,6 +127,63 @@ TextTable::printTsv(std::ostream &os) const
 }
 
 void
+TextTable::printJson(std::ostream &os) const
+{
+    auto quote = [](const std::string &s) {
+        std::string out = "\"";
+        for (char ch : s) {
+            switch (ch) {
+              case '"':
+                out += "\\\"";
+                break;
+              case '\\':
+                out += "\\\\";
+                break;
+              case '\n':
+                out += "\\n";
+                break;
+              case '\t':
+                out += "\\t";
+                break;
+              case '\r':
+                out += "\\r";
+                break;
+              default:
+                if (static_cast<unsigned char>(ch) < 0x20)
+                    out += csprintf("\\u%04x", ch);
+                else
+                    out += ch;
+            }
+        }
+        out += "\"";
+        return out;
+    };
+
+    // One object per table, one row object per data row, keyed by the
+    // header -- and everything on a single line, so an invocation
+    // printing several tables emits valid JSON Lines.
+    os << "{\"headers\":[";
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        if (c)
+            os << ",";
+        os << quote(header[c]);
+    }
+    os << "],\"rows\":[";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r)
+            os << ",";
+        os << "{";
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            if (c)
+                os << ",";
+            os << quote(header[c]) << ":" << quote(rows[r][c]);
+        }
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+void
 TextTable::printDelimited(
     std::ostream &os, char delim,
     const std::function<std::string(const std::string &)> &escape) const

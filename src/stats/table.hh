@@ -50,6 +50,11 @@ class TextTable
      *  --format=tsv, built to be diffed and plotted. */
     void printTsv(std::ostream &os) const;
 
+    /** Render as one single-line JSON object ({"headers": [...],
+     *  "rows": [{header: cell, ...}, ...]}); several tables in one
+     *  stream form valid JSON Lines. Behind the CLI's --format=json. */
+    void printJson(std::ostream &os) const;
+
   private:
     /** Shared CSV/TSV emitter; @p escape transforms each cell. */
     void printDelimited(

@@ -159,6 +159,84 @@ TEST(Cli, UnknownFormatRejected)
     EXPECT_NE(err.find("--format"), std::string::npos);
 }
 
+TEST(Cli, FormatJsonEmitsOneObjectPerTableNoHeadings)
+{
+    std::string out, err;
+    ASSERT_EQ(runCli({"tab1", "--format=json"}, out, err), 0);
+    // No headings or notes, just the table object.
+    EXPECT_EQ(out.rfind("{\"headers\":[\"parameter\",\"value\"]", 0), 0u);
+    EXPECT_EQ(out.find("==="), std::string::npos);
+    EXPECT_EQ(out.find('\n'), out.size() - 1); // single line
+
+    // Several tables become JSON Lines (one object per line).
+    std::string multi;
+    ASSERT_EQ(runCli({"tab1", "tab3", "--format=json"}, multi, err), 0);
+    std::size_t objects = 0;
+    std::istringstream lines(multi);
+    for (std::string line; std::getline(lines, line);)
+        if (!line.empty()) {
+            EXPECT_EQ(line.rfind("{\"headers\":", 0), 0u);
+            ++objects;
+        }
+    EXPECT_EQ(objects, 2u);
+}
+
+TEST(Cli, DumpStatsOptionsValidated)
+{
+    std::string out, err;
+    // --config only makes sense with --dump-stats.
+    EXPECT_NE(runCli({"tab1", "--config=baseline"}, out, err), 0);
+    EXPECT_NE(err.find("--config"), std::string::npos);
+
+    err.clear();
+    EXPECT_NE(runCli({"tab1", "--dump-stats"}, out, err), 0);
+    EXPECT_NE(err.find("--dump-stats"), std::string::npos);
+
+    err.clear();
+    EXPECT_NE(runCli({"--dump-stats", "--config=warp-drive"}, out, err),
+              0);
+    EXPECT_NE(err.find("unknown --config"), std::string::npos);
+    EXPECT_NE(err.find("baseline"), std::string::npos); // lists presets
+
+    // An overflowing fixed-<N> is an unknown preset, not an abort or
+    // a silently wrapped latency.
+    err.clear();
+    EXPECT_NE(runCli({"--dump-stats",
+                      "--config=fixed-99999999999999999999"},
+                     out, err),
+              0);
+    EXPECT_NE(err.find("unknown --config"), std::string::npos);
+
+    // Table- and fan-out-only flags are rejected, not ignored.
+    err.clear();
+    EXPECT_NE(runCli({"--dump-stats", "--format=json"}, out, err), 0);
+    EXPECT_NE(err.find("--format"), std::string::npos);
+    err.clear();
+    EXPECT_NE(runCli({"--dump-stats", "--jobs=4"}, out, err), 0);
+    EXPECT_NE(err.find("--jobs"), std::string::npos);
+    err.clear();
+    EXPECT_NE(runCli({"--dump-stats", "--backend=queue",
+                      "--spool-dir=/tmp/x"},
+                     out, err),
+              0);
+}
+
+TEST(Cli, DumpStatsPrintsTheTree)
+{
+    std::string out, err;
+    ASSERT_EQ(runCli({"--dump-stats", "--benches=bfs", "--shrink=64",
+                      "--config=fixed-200"},
+                     out, err),
+              0);
+    EXPECT_NE(out.find("# stats: benchmark=bfs config=fixed-200"),
+              std::string::npos);
+    EXPECT_NE(out.find("gpu.core0.issued_insts"), std::string::npos);
+    EXPECT_NE(out.find("gpu.core0.l1d.accesses"), std::string::npos);
+    // fixed-latency mode models no network or partitions.
+    EXPECT_EQ(out.find("gpu.icnt."), std::string::npos);
+    EXPECT_EQ(out.find("gpu.part"), std::string::npos);
+}
+
 TEST(Cli, ShardOptionsValidated)
 {
     std::string out, err;

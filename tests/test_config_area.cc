@@ -116,6 +116,34 @@ TEST(Config, HbmIsDramScaled)
     EXPECT_EQ(h.reqFlitBytes, 32u);
 }
 
+TEST(Config, FindConfigPresetResolvesEveryFactoryName)
+{
+    GpuConfig c;
+    ASSERT_TRUE(findConfigPreset("baseline", c));
+    EXPECT_EQ(c.name, "baseline");
+    ASSERT_TRUE(findConfigPreset("L2+DRAM", c));
+    EXPECT_EQ(c.name, "L2+DRAM");
+    ASSERT_TRUE(findConfigPreset("P-inf", c));
+    EXPECT_EQ(c.mode, MemoryMode::PerfectMem);
+    ASSERT_TRUE(findConfigPreset("fixed-200", c));
+    EXPECT_EQ(c.mode, MemoryMode::FixedL1Lat);
+    EXPECT_EQ(c.fixedL1MissLatency, 200u);
+
+    EXPECT_FALSE(findConfigPreset("warp-drive", c));
+    EXPECT_FALSE(findConfigPreset("fixed-", c));
+    EXPECT_FALSE(findConfigPreset("fixed-12x", c));
+    // Out-of-range latencies are unknown presets, never wrapped.
+    EXPECT_FALSE(findConfigPreset("fixed-4294967296", c));
+    EXPECT_FALSE(findConfigPreset("fixed-99999999999999999999", c));
+
+    // Every advertised name (minus the fixed-<N> placeholder) resolves.
+    for (const auto &name : configPresetNames()) {
+        if (name != "fixed-<N>") {
+            EXPECT_TRUE(findConfigPreset(name, c)) << name;
+        }
+    }
+}
+
 TEST(Config, ModesSelectCorrectBackend)
 {
     EXPECT_EQ(GpuConfig::baseline().mode, MemoryMode::Normal);

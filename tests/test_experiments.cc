@@ -263,6 +263,8 @@ TEST(Experiments, ParseTableFormat)
     EXPECT_EQ(f, TableFormat::Tsv);
     EXPECT_TRUE(parseTableFormat("text", f));
     EXPECT_EQ(f, TableFormat::Text);
-    EXPECT_FALSE(parseTableFormat("json", f));
+    EXPECT_TRUE(parseTableFormat("json", f));
+    EXPECT_EQ(f, TableFormat::Json);
+    EXPECT_FALSE(parseTableFormat("xml", f));
     EXPECT_FALSE(parseTableFormat("", f));
 }

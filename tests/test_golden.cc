@@ -1,10 +1,10 @@
 /**
  * @file
  * Golden-result regression suite: checked-in TSV snapshots of the
- * Fig. 3 / Fig. 10 / Fig. 12 and Table II experiment tables (under
- * --shrink) are diffed exactly against fresh runs. Simulations are
- * deterministic, so any byte of drift is a behaviour change in the
- * runner -- intentional changes are reblessed with
+ * Fig. 3 / 7 / 8 / 9 / 10 / 11 / 12 and Table II experiment tables
+ * (under --shrink) are diffed exactly against fresh runs. Simulations
+ * are deterministic, so any byte of drift is a behaviour change in
+ * the runner -- intentional changes are reblessed with
  * scripts/regen_golden.sh (which reruns this binary with
  * BWSIM_REGEN_GOLDEN=1).
  */
@@ -95,9 +95,35 @@ TEST(Golden, Fig3LatencySweep)
                        goldenOptions(), exp::fig3DefaultLatencies())));
 }
 
+TEST(Golden, Fig7IssueStallDistribution)
+{
+    compareOrRegen("fig7",
+                   render(exp::fig7IssueStallDistribution(
+                       exp::baselineResults(goldenOptions()))));
+}
+
+TEST(Golden, Fig8L2StallDistribution)
+{
+    compareOrRegen("fig8", render(exp::fig8L2StallDistribution(
+                               exp::baselineResults(goldenOptions()))));
+}
+
+TEST(Golden, Fig9L1StallDistribution)
+{
+    compareOrRegen("fig9", render(exp::fig9L1StallDistribution(
+                               exp::baselineResults(goldenOptions()))));
+}
+
 TEST(Golden, Fig10DseScaling)
 {
     compareOrRegen("fig10", render(exp::fig10DseScaling(goldenOptions())));
+}
+
+TEST(Golden, Fig11FrequencySweep)
+{
+    compareOrRegen("fig11",
+                   render(exp::fig11FrequencySweep(
+                       goldenOptions(), exp::fig11DefaultFrequencies())));
 }
 
 TEST(Golden, Fig12CostEffective)

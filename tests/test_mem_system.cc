@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the MemSystem seam (mem/mem_system.*) and the stats tree
+ * it feeds: the factory picks the right hierarchy per MemoryMode, the
+ * Gpu tick/done paths work identically through the seam for normal
+ * and ideal modes, and the tree rooted at "gpu" has stable group and
+ * stat names, deterministic grouping, and a write-through reset().
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpu/gpu.hh"
+#include "mem/mem_system.hh"
+
+using namespace bwsim;
+
+namespace
+{
+
+GpuConfig
+quickConfig(GpuConfig c = GpuConfig::baseline())
+{
+    c.maxCoreCycles = 400000;
+    return c;
+}
+
+std::string
+dumped(const Gpu &gpu)
+{
+    std::ostringstream os;
+    gpu.dumpStats(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(MemSystem, FactoryPicksTheHierarchyPerMode)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-compute");
+
+    Gpu normal(quickConfig(), p);
+    EXPECT_NE(dynamic_cast<NormalMemSystem *>(&normal.memSystem()),
+              nullptr);
+    EXPECT_NE(normal.interconnect(), nullptr);
+    EXPECT_EQ(normal.memSystem().numPartitions(), 6);
+
+    // P_DRAM keeps the real crossbars and L2 banks; only the channel
+    // inside each partition is ideal.
+    Gpu pdram(quickConfig(GpuConfig::idealDram()), p);
+    EXPECT_NE(dynamic_cast<NormalMemSystem *>(&pdram.memSystem()),
+              nullptr);
+    EXPECT_NE(pdram.interconnect(), nullptr);
+
+    Gpu pinf(quickConfig(GpuConfig::perfectMem()), p);
+    EXPECT_NE(dynamic_cast<IdealMemSystem *>(&pinf.memSystem()), nullptr);
+    EXPECT_EQ(pinf.interconnect(), nullptr);
+    EXPECT_EQ(pinf.memSystem().numPartitions(), 0);
+
+    Gpu fixed(quickConfig(GpuConfig::fixedL1Lat(200)), p);
+    EXPECT_NE(dynamic_cast<IdealMemSystem *>(&fixed.memSystem()), nullptr);
+    EXPECT_EQ(fixed.interconnect(), nullptr);
+}
+
+/** Every mode must drain and complete through the seam: same issued
+ *  work, no timeout, no leaked packet, a drained memory system. */
+class MemSystemDrain : public ::testing::TestWithParam<int>
+{
+  public:
+    static GpuConfig
+    configFor(int idx)
+    {
+        switch (idx) {
+          case 0:
+            return GpuConfig::baseline();
+          case 1:
+            return GpuConfig::idealDram();
+          case 2:
+            return GpuConfig::perfectMem();
+          default:
+            return GpuConfig::fixedL1Lat(150);
+        }
+    }
+};
+
+TEST_P(MemSystemDrain, CompletesAndDrains)
+{
+    Gpu gpu(quickConfig(configFor(GetParam())),
+            makeTestProfile("tiny-mixed"));
+    SimResult r = gpu.run();
+    EXPECT_FALSE(r.timedOut);
+    // The workload fixes the instruction count, so every hierarchy
+    // must retire exactly the same work (the pre-refactor contract).
+    EXPECT_EQ(r.warpInstsIssued, 16u * 4 * 120);
+    EXPECT_EQ(gpu.allocator().outstanding(), 0u);
+    EXPECT_TRUE(gpu.memSystem().drained());
+    EXPECT_TRUE(gpu.allWorkDone());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MemSystemDrain, ::testing::Range(0, 4));
+
+TEST(MemSystem, NormalAndIdealAgreeWithHarvestSemantics)
+{
+    BenchmarkProfile p = makeTestProfile("tiny-stream");
+    SimResult normal = Gpu(quickConfig(), p).run();
+    SimResult pinf = Gpu(quickConfig(GpuConfig::perfectMem()), p).run();
+
+    // The normal hierarchy measures the memory side; the ideal one
+    // reports zeros there (no partitions exist to measure) while the
+    // core side stays fully populated.
+    EXPECT_GT(normal.l2Accesses, 0u);
+    EXPECT_GT(normal.dramReads, 0u);
+    EXPECT_EQ(pinf.l2Accesses, 0u);
+    EXPECT_EQ(pinf.dramReads, 0u);
+    EXPECT_GT(pinf.l1Accesses, 0u);
+    EXPECT_GT(pinf.aml, 0.0);
+}
+
+TEST(StatsTree, NormalModeNamesAndGrouping)
+{
+    Gpu gpu(quickConfig(), makeTestProfile("tiny-stream"));
+    gpu.run();
+    const std::string out = dumped(gpu);
+
+    // Core side: per-core groups with L1 children.
+    EXPECT_NE(out.find("gpu.core0.issued_insts"), std::string::npos);
+    EXPECT_NE(out.find("gpu.core14.issue_stalls"), std::string::npos);
+    EXPECT_NE(out.find("gpu.core0.l1d.accesses"), std::string::npos);
+    EXPECT_NE(out.find("gpu.core0.l1i.accesses"), std::string::npos);
+    EXPECT_NE(out.find("gpu.core0.l1d.stall_cycles"), std::string::npos);
+
+    // Memory side: both networks, every partition, banks + DRAM +
+    // occupancy histograms.
+    EXPECT_NE(out.find("gpu.icnt.req.packets_injected"),
+              std::string::npos);
+    EXPECT_NE(out.find("gpu.icnt.reply.bytes_carried"),
+              std::string::npos);
+    EXPECT_NE(out.find("gpu.part0.l2b0.read_misses"), std::string::npos);
+    EXPECT_NE(out.find("gpu.part5.l2b1.accesses"), std::string::npos);
+    EXPECT_NE(out.find("gpu.part0.dram.activates"), std::string::npos);
+    EXPECT_NE(out.find("gpu.part0.l2_access_occ"), std::string::npos);
+    EXPECT_NE(out.find("gpu.part0.dram_occ_lifetime"), std::string::npos);
+}
+
+TEST(StatsTree, IdealModesOmitTheUnmodelledLevels)
+{
+    Gpu pinf(quickConfig(GpuConfig::perfectMem()),
+             makeTestProfile("tiny-stream"));
+    pinf.run();
+    const std::string out = dumped(pinf);
+    EXPECT_NE(out.find("gpu.core0.issued_insts"), std::string::npos);
+    EXPECT_EQ(out.find("gpu.icnt."), std::string::npos);
+    EXPECT_EQ(out.find("gpu.part"), std::string::npos);
+
+    // P_DRAM keeps partitions but has no GDDR5 channel to measure.
+    Gpu pdram(quickConfig(GpuConfig::idealDram()),
+              makeTestProfile("tiny-stream"));
+    pdram.run();
+    const std::string out2 = dumped(pdram);
+    EXPECT_NE(out2.find("gpu.part0.l2b0.accesses"), std::string::npos);
+    EXPECT_EQ(out2.find("gpu.part0.dram."), std::string::npos);
+}
+
+TEST(StatsTree, GroupsRegisterInConstructionOrder)
+{
+    Gpu gpu(quickConfig(), makeTestProfile("tiny-compute"));
+    const auto &kids = gpu.statsTree().children();
+    // core0..core14, then icnt, then part0..part5 -- the order the
+    // declarative harvest relies on for deterministic aggregation.
+    ASSERT_EQ(kids.size(), 15u + 1 + 6);
+    EXPECT_EQ(kids.front()->name(), "core0");
+    EXPECT_EQ(kids[14]->name(), "core14");
+    EXPECT_EQ(kids[15]->name(), "icnt");
+    EXPECT_EQ(kids[16]->name(), "part0");
+    EXPECT_EQ(kids.back()->name(), "part5");
+}
+
+TEST(StatsTree, ResetWritesThroughToTheCounters)
+{
+    Gpu gpu(quickConfig(), makeTestProfile("tiny-mixed"));
+    SimResult before = gpu.run();
+    ASSERT_GT(before.warpInstsIssued, 0u);
+    ASSERT_GT(gpu.core(0).counters().issuedInsts, 0u);
+    ASSERT_GT(gpu.core(0).l1d().counters().accesses, 0u);
+
+    gpu.statsTree().resetAll();
+
+    // Bound stats are views: resetting the tree zeroes the component
+    // counters themselves, and a fresh harvest sees an untouched chip.
+    EXPECT_EQ(gpu.core(0).counters().issuedInsts, 0u);
+    EXPECT_EQ(gpu.core(0).l1d().counters().accesses, 0u);
+    SimResult after = gpu.harvest();
+    EXPECT_EQ(after.warpInstsIssued, 0u);
+    EXPECT_EQ(after.l1Accesses, 0u);
+    EXPECT_EQ(after.l2Accesses, 0u);
+    EXPECT_DOUBLE_EQ(after.aml, 0.0);
+    EXPECT_DOUBLE_EQ(after.dramEfficiency, 0.0);
+}
+
+TEST(StatsTree, HarvestMatchesDirectCounterAggregation)
+{
+    Gpu gpu(quickConfig(), makeTestProfile("tiny-stream"));
+    SimResult r = gpu.run();
+
+    // Cross-check the tree-driven harvest against a hand aggregation
+    // over the component counters it abstracts away.
+    std::uint64_t issued = 0, l1_acc = 0;
+    for (int c = 0; c < gpu.config().numCores; ++c) {
+        issued += gpu.core(c).counters().issuedInsts;
+        l1_acc += gpu.core(c).l1d().counters().accesses;
+    }
+    EXPECT_EQ(r.warpInstsIssued, issued);
+    EXPECT_EQ(r.l1Accesses, l1_acc);
+
+    std::uint64_t dram_reads = 0;
+    std::uint64_t l2_acc = 0;
+    for (int p = 0; p < gpu.memSystem().numPartitions(); ++p) {
+        MemoryPartition *part = gpu.memSystem().partition(p);
+        dram_reads += part->dram().counters().reads;
+        for (std::uint32_t b = 0; b < gpu.config().l2BanksPerPartition;
+             ++b)
+            l2_acc += part->l2Bank(b).counters().accesses;
+    }
+    EXPECT_EQ(r.dramReads, dram_reads);
+    EXPECT_EQ(r.l2Accesses, l2_acc);
+}

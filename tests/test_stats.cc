@@ -66,6 +66,138 @@ TEST(Stat, GroupTreeDump)
     EXPECT_EQ(s2.get(), 0u);
 }
 
+TEST(Stat, BoundScalarIsAWriteThroughView)
+{
+    Group g("g");
+    std::uint64_t counter = 0;
+    BoundScalar s(&g, "bound", "a view over a plain counter", &counter);
+    counter = 41;
+    EXPECT_EQ(s.get(), 41u);
+    EXPECT_DOUBLE_EQ(s.value(), 41.0);
+    s.reset();
+    EXPECT_EQ(counter, 0u); // reset() reaches the component's counter
+}
+
+TEST(Stat, BoundValueIsAWriteThroughView)
+{
+    Group g("g");
+    double sum = 0.0;
+    BoundValue v(&g, "sum", "a latency sum", &sum);
+    sum = 2.5;
+    EXPECT_DOUBLE_EQ(v.value(), 2.5);
+    v.reset();
+    EXPECT_DOUBLE_EQ(sum, 0.0);
+}
+
+TEST(Stat, BoundVectorSumsAndLabels)
+{
+    Group g("g");
+    std::uint64_t causes[3] = {5, 0, 7};
+    BoundVector v(&g, "stalls", "by cause", causes, 3, {"a", "b", "c"});
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v.at(0), 5u);
+    EXPECT_EQ(v.at(2), 7u);
+    EXPECT_EQ(v.label(1), "b");
+    EXPECT_EQ(v.total(), 12u);
+    EXPECT_DOUBLE_EQ(v.value(), 12.0);
+    EXPECT_NE(v.render().find("a=5"), std::string::npos);
+    v.reset();
+    EXPECT_EQ(causes[0] + causes[1] + causes[2], 0u);
+}
+
+TEST(Stat, FormulaComputesOnDemand)
+{
+    Group g("g");
+    std::uint64_t n = 2;
+    Formula f(&g, "double_n", "derived", [&n] { return 2.0 * n; });
+    EXPECT_DOUBLE_EQ(f.value(), 4.0);
+    n = 5;
+    EXPECT_DOUBLE_EQ(f.value(), 10.0);
+    f.reset(); // no-op
+    EXPECT_DOUBLE_EQ(f.value(), 10.0);
+}
+
+TEST(Stat, OwnedChildrenAndBindFactories)
+{
+    Group root("gpu");
+    std::uint64_t c0 = 3, c1 = 4;
+    Group &core0 = root.createChild("core0");
+    core0.bindScalar("insts", "issued", c0);
+    Group &core1 = root.createChild("core1");
+    core1.bindScalar("insts", "issued", c1);
+
+    ASSERT_EQ(root.children().size(), 2u);
+    EXPECT_EQ(root.child("core1"), root.children()[1]);
+    EXPECT_EQ(root.child("nope"), nullptr);
+    ASSERT_NE(core0.stat("insts"), nullptr);
+    EXPECT_DOUBLE_EQ(core0.stat("insts")->value(), 3.0);
+
+    root.resetAll();
+    EXPECT_EQ(c0 + c1, 0u);
+}
+
+TEST(Stat, FindGroupsMatchesPrefixPatternsInOrder)
+{
+    Group root("gpu");
+    std::uint64_t a = 1, b = 2, d = 10, e = 20;
+    double lat = 0.5;
+    for (int i = 0; i < 2; ++i) {
+        Group &core = root.createChild("core" + std::to_string(i));
+        core.bindScalar("insts", "issued", i == 0 ? a : b);
+        core.bindValue("lat", "latency", lat);
+        Group &l1 = core.createChild("l1d");
+        std::uint64_t &v = i == 0 ? d : e;
+        l1.bindScalar("accesses", "presented", v);
+    }
+    root.createChild("icnt");
+
+    auto cores = findGroups(root, "core*");
+    ASSERT_EQ(cores.size(), 2u);
+    EXPECT_EQ(cores[0]->name(), "core0");
+    EXPECT_EQ(cores[1]->name(), "core1");
+    EXPECT_EQ(sumScalar(cores, "insts"), 3u);
+    EXPECT_DOUBLE_EQ(sumValue(cores, "lat"), 1.0);
+
+    auto l1s = findGroups(root, "core*.l1d");
+    ASSERT_EQ(l1s.size(), 2u);
+    EXPECT_EQ(sumScalar(l1s, "accesses"), 30u);
+
+    EXPECT_EQ(findGroups(root, "icnt").size(), 1u);
+    EXPECT_TRUE(findGroups(root, "part*").empty());
+    EXPECT_TRUE(findGroups(root, "core0.l2").empty());
+}
+
+TEST(Stat, SumVectorAtAggregatesPerElement)
+{
+    Group root("gpu");
+    std::uint64_t v0[2] = {1, 2}, v1[2] = {10, 20};
+    root.createChild("p0").bindVector("occ", "bands", v0, 2, {"x", "y"});
+    root.createChild("p1").bindVector("occ", "bands", v1, 2, {"x", "y"});
+    auto parts = findGroups(root, "p*");
+    EXPECT_EQ(sumVectorAt(parts, "occ", 0), 11u);
+    EXPECT_EQ(sumVectorAt(parts, "occ", 1), 22u);
+}
+
+TEST(OccupancyHist, RegistersBandVectorAndLifetime)
+{
+    Group g("part0");
+    OccupancyHist h;
+    h.sample(8, 8);
+    h.sample(1, 8);
+    h.registerStats(g, "occ", "queue occupancy");
+    const auto *vec = dynamic_cast<const BoundVector *>(g.stat("occ"));
+    ASSERT_NE(vec, nullptr);
+    EXPECT_EQ(vec->size(), numOccBands);
+    EXPECT_EQ(vec->at(static_cast<unsigned>(OccBand::Full)), 1u);
+    EXPECT_EQ(vec->label(static_cast<unsigned>(OccBand::Full)), "100%");
+    const auto *life =
+        dynamic_cast<const BoundScalar *>(g.stat("occ_lifetime"));
+    ASSERT_NE(life, nullptr);
+    EXPECT_EQ(life->get(), 2u);
+    g.resetAll();
+    EXPECT_EQ(h.usageLifetime(), 0u);
+}
+
 TEST(OccupancyHist, BandClassification)
 {
     EXPECT_EQ(OccupancyHist::classify(1, 8), OccBand::UnderQuarter);
@@ -168,4 +300,28 @@ TEST(TextTable, TsvSanitizesDelimitersInsideCells)
     std::ostringstream os;
     t.printTsv(os);
     EXPECT_EQ(os.str(), "a\tb\nwith tab\twith newline\n");
+}
+
+TEST(TextTable, JsonEmitsOneObjectPerTable)
+{
+    TextTable t({"benchmark", "ipc"});
+    t.newRow().add("mm").addNum(1.25, 2);
+    t.newRow().add("nn").addNum(0.75, 2);
+    std::ostringstream os;
+    t.printJson(os);
+    EXPECT_EQ(os.str(),
+              "{\"headers\":[\"benchmark\",\"ipc\"],"
+              "\"rows\":[{\"benchmark\":\"mm\",\"ipc\":\"1.25\"},"
+              "{\"benchmark\":\"nn\",\"ipc\":\"0.75\"}]}\n");
+}
+
+TEST(TextTable, JsonEscapesSpecialCharacters)
+{
+    TextTable t({"a"});
+    t.newRow().add("q\"b\\c\nd\te");
+    std::ostringstream os;
+    t.printJson(os);
+    EXPECT_EQ(os.str(),
+              "{\"headers\":[\"a\"],"
+              "\"rows\":[{\"a\":\"q\\\"b\\\\c\\nd\\te\"}]}\n");
 }

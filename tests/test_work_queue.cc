@@ -300,6 +300,86 @@ TEST(WorkQueue, CorruptReplyIsDiscardedAndJobRedispatched)
     EXPECT_EQ(results[0].benchmark, spec.profile.name);
 }
 
+TEST(ClaimHeartbeat, RefreshesTheClaimMtimeUntilDestroyed)
+{
+    const std::string dir = freshSpool("heartbeat");
+    fs::create_directories(dir);
+    const fs::path claim = fs::path(dir) / "claim";
+    writeFile(claim, "x");
+    // Age the claim well past any plausible job timeout.
+    fs::last_write_time(claim, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(1));
+    {
+        ClaimHeartbeat hb(claim.string(), 0.01);
+        // Wait (bounded) for at least one refresh.
+        for (int i = 0; i < 1000 && hb.beats() == 0; ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        EXPECT_GT(hb.beats(), 0u);
+    }
+    const auto age =
+        fs::file_time_type::clock::now() - fs::last_write_time(claim);
+    EXPECT_LT(std::chrono::duration<double>(age).count(), 60.0);
+}
+
+TEST(ClaimHeartbeat, DisabledOrVanishedFileIsHarmless)
+{
+    // interval <= 0: no thread at all.
+    ClaimHeartbeat off("/nonexistent/claim", 0.0);
+    EXPECT_EQ(off.beats(), 0u);
+    // A path that never exists: touches fail quietly, nothing crashes.
+    ClaimHeartbeat orphan("/nonexistent/claim", 0.005);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(orphan.beats(), 0u);
+}
+
+TEST(WorkQueueRecovery, HeartbeatPreventsStaleClaimReclaim)
+{
+    const std::string spool = freshSpool("hb-reclaim");
+    WorkQueueConfig cfg = quickQueueConfig(spool);
+    cfg.jobTimeoutSec = 0.5;
+    WorkQueue queue(cfg);
+    RunSpec spec{makeTestProfile("tiny-compute"), quickConfig()};
+    queue.dispatch({spec});
+
+    const std::string job = jobFileNameFor(workKeyOf(spec));
+    const fs::path claimed = fs::path(spool) / "claimed" / job;
+    fs::rename(fs::path(spool) / "jobs" / job, claimed);
+    {
+        // A worker whose "simulation" outlasts the job timeout, but
+        // whose heartbeat keeps the claim visibly alive: the parent
+        // must not reclaim it.
+        ClaimHeartbeat hb(claimed.string(), 0.05);
+        std::this_thread::sleep_for(std::chrono::milliseconds(800));
+        queue.poll();
+        EXPECT_EQ(queue.reclaimedJobs(), 0u);
+        EXPECT_TRUE(fs::exists(claimed));
+    }
+    // Heartbeat gone (worker crash): the same wait now triggers the
+    // reclaim and the job returns to jobs/ for re-dispatch.
+    std::this_thread::sleep_for(std::chrono::milliseconds(800));
+    queue.poll();
+    EXPECT_EQ(queue.reclaimedJobs(), 1u);
+    EXPECT_TRUE(fs::exists(fs::path(spool) / "jobs" / job));
+}
+
+TEST(WorkQueueRecovery, WorkerHeartbeatParameterIsAccepted)
+{
+    // The worker entry point plumbs the heartbeat interval through;
+    // with a tiny sim the heartbeat may never fire, but the claim and
+    // reply lifecycle must be unchanged.
+    const std::string spool = freshSpool("hb-worker");
+    WorkQueue queue(quickQueueConfig(spool));
+    RunSpec spec{makeTestProfile("tiny-compute"), quickConfig()};
+    queue.dispatch({spec});
+
+    SimCache cache;
+    WorkerStats stats;
+    EXPECT_TRUE(workerProcessOneJob(spool, cache, &stats, 0.01));
+    EXPECT_EQ(stats.jobsProcessed, 1u);
+    EXPECT_EQ(countFiles(fs::path(spool) / "claimed"), 0u);
+    EXPECT_EQ(countFiles(fs::path(spool) / "replies"), 1u);
+}
+
 TEST(WorkQueue, WorkerDiscardsCorruptJobFile)
 {
     const std::string spool = freshSpool("corrupt-job");
