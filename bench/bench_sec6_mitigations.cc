@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Sec. VI: hierarchy mitigations (per-level bandwidth + speedups).
+ * Thin compatibility wrapper: `bwsim sec6` is the canonical driver
+ * and prints the identical report.
+ */
+
+#include "cli/cli.hh"
+
+int
+main()
+{
+    return bwsim::cli::runExperimentFromEnv("sec6");
+}

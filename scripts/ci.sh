@@ -125,6 +125,29 @@ smoke() {
         exit 1
     }
 
+    echo "smoke: hierarchy-variant config end-to-end"
+    # One mitigation preset through the whole engine: the run must
+    # complete and publish the per-level bandwidth formulas, and the
+    # sec6 sweep must produce the mitigation columns.
+    ./build/bwsim --dump-stats --benches=bfs --shrink=16 \
+        --config=L1-bypass > "$smoke_tmp/variant.out"
+    grep -q 'gpu\.bw\.l1_icnt_bpc' "$smoke_tmp/variant.out" || {
+        echo "smoke FAIL: variant --dump-stats lacks the gpu.bw" \
+             "bandwidth formulas" >&2
+        exit 1
+    }
+    grep -q 'gpu\.core0\.l1d\.bypassed_reads' "$smoke_tmp/variant.out" || {
+        echo "smoke FAIL: L1-bypass run did not report bypassed reads" >&2
+        exit 1
+    }
+    ./build/bwsim sec6 --benches=bfs --shrink=16 --threads=2 \
+        > "$smoke_tmp/sec6.out"
+    grep -q 'L2-sectored' "$smoke_tmp/sec6.out" || {
+        echo "smoke FAIL: sec6 table lacks the mitigation columns:" >&2
+        cat "$smoke_tmp/sec6.out" >&2
+        exit 1
+    }
+
     echo "smoke: --cache-stats and --cache-max-mb eviction"
     ./build/bwsim --cache-stats --cache-dir="$smoke_tmp/cache" \
         > "$smoke_tmp/stats.out"

@@ -128,6 +128,9 @@ CacheModel::registerStats(stats::Group &parent, const std::string &name)
     g.bindScalar("read_hits", "read hits serviced", ctr.readHits);
     g.bindScalar("read_misses", "read misses (fills requested)",
                  ctr.readMisses);
+    g.bindScalar("bypassed_reads",
+                 "read misses that bypassed allocation (no fill)",
+                 ctr.bypassedReads);
     g.bindScalar("mshr_merges", "reads merged into in-flight fills",
                  ctr.mshrMerges);
     g.bindScalar("write_hits", "write hits", ctr.writeHits);
@@ -159,6 +162,13 @@ CacheModel::tryUsePort(Cycle now)
     return true;
 }
 
+std::uint32_t
+CacheModel::fetchBytesFor(const CacheAccess &acc,
+                          std::uint32_t quantum) const
+{
+    return demandTransferBytes(acc.dataBytes, quantum, cfg.lineBytes);
+}
+
 MemFetch *
 CacheModel::makePacket(AccessType type, Addr line_addr,
                        std::uint32_t store_bytes, const CacheAccess &acc,
@@ -167,6 +177,8 @@ CacheModel::makePacket(AccessType type, Addr line_addr,
     MemFetch *mf = alloc->alloc();
     mf->lineAddr = line_addr;
     mf->lineBytes = cfg.lineBytes;
+    mf->dataBytes = cfg.lineBytes;
+    mf->fillBytes = cfg.lineBytes;
     mf->storeBytes = store_bytes;
     mf->type = type;
     mf->coreId = (type == AccessType::L2Writeback) ? -1 : coreId;
@@ -248,6 +260,27 @@ CacheModel::handleRead(const CacheAccess &acc, Cycle now, double now_ps)
         return CacheOutcome::HitServiced;
     }
 
+    if (cfg.bypassReads) {
+        // L1 read-bypass (§VI mitigation): the miss allocates nothing
+        // -- no reservation, no MSHR entry, no merging -- and the
+        // fetch carries only the demanded sectors; the reply
+        // completes the waiting LSU slot directly.
+        bwsim_assert(!acc.isInstFetch && !acc.mf,
+                     "read bypass is an L1D-only policy");
+        if (missQ.full())
+            return CacheOutcome::StallMissQueueFull;
+        MemFetch *fetch = makePacket(AccessType::GlobalRead, acc.lineAddr,
+                                     0, acc, now_ps);
+        fetch->l1Bypass = true;
+        fetch->dataBytes = fetchBytesFor(
+            acc, cfg.sectorBytes ? cfg.sectorBytes : kDemandQuantumBytes);
+        bool pushed = missQ.push(fetch);
+        bwsim_assert(pushed, "miss queue overflow on bypassed read");
+        ++ctr.readMisses;
+        ++ctr.bypassedReads;
+        return CacheOutcome::MissIssued;
+    }
+
     MshrWaiter waiter;
     waiter.warpId = acc.warpId;
     waiter.slotId = acc.slotId;
@@ -283,13 +316,27 @@ CacheModel::handleRead(const CacheAccess &acc, Cycle now, double now_ps)
 
     MemFetch *fetch;
     if (acc.mf) {
-        // L2: forward the arriving packet itself to DRAM.
+        // L2: forward the arriving packet itself to DRAM. The fill
+        // must supply what this cache allocates -- the whole line
+        // when unsectored (even for a demand-sized bypass fetch),
+        // only the demanded sectors when sectored. The reply size
+        // (dataBytes) is the requester's and stays untouched.
         fetch = acc.mf;
         fetch->servicedBy = ServicedBy::Dram;
+        fetch->fillBytes =
+            cfg.sectorBytes
+                ? demandTransferBytes(fetch->dataBytes, cfg.sectorBytes,
+                                      cfg.lineBytes)
+                : cfg.lineBytes;
     } else {
         fetch = makePacket(acc.isInstFetch ? AccessType::InstFetch
                                            : AccessType::GlobalRead,
                            acc.lineAddr, 0, acc, now_ps);
+        // A sectored hierarchy fetches (and replies with) only the
+        // demanded sectors; an unsectored line-allocating cache needs
+        // the whole line (the makePacket default).
+        if (cfg.sectorBytes && !acc.isInstFetch)
+            fetch->dataBytes = fetchBytesFor(acc, cfg.sectorBytes);
     }
     bool ok = missQ.push(fetch);
     bwsim_assert(ok, "miss queue overflow on read miss");
@@ -351,8 +398,12 @@ CacheModel::handleWriteBack(const CacheAccess &acc, Cycle now,
 
     // Write miss: write-allocate. A full-line store needs no
     // fetch-on-write (every byte is overwritten); partial stores fetch
-    // the line from DRAM and merge.
-    bool full_line = acc.storeBytes >= cfg.lineBytes;
+    // the line from DRAM and merge. In a sectored cache a store that
+    // covers whole sectors overwrites them completely, so it needs no
+    // fetch either -- the paper's partial-store mitigation.
+    bool full_line = acc.storeBytes >= cfg.lineBytes ||
+                     (cfg.sectorBytes && acc.storeBytes > 0 &&
+                      acc.storeBytes % cfg.sectorBytes == 0);
     std::uint32_t wb_slots =
         (probe.result == ProbeResult::MissEvict && probe.victimDirty) ? 1
                                                                       : 0;

@@ -24,12 +24,14 @@
 #ifndef BWSIM_CACHE_CACHE_HH
 #define BWSIM_CACHE_CACHE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "cache/mshr.hh"
+#include "common/intmath.hh"
 #include "cache/tag_array.hh"
 #include "common/types.hh"
 #include "mem/mem_fetch.hh"
@@ -41,6 +43,29 @@ namespace bwsim
 namespace stats
 {
 class Group;
+}
+
+/** Smallest data-movement quantum the model tracks: one 32 B memory
+ *  transaction, which is also the sector size of the paper's sectored
+ *  variant. Demand footprints are rounded up to this. */
+constexpr std::uint32_t kDemandQuantumBytes = 32;
+
+/**
+ * The one demand-sizing policy of the bypass/sectored variants: a
+ * demanded byte footprint rounded up to whole @p quantum units and
+ * capped at the line (0, or anything >= the line, means the whole
+ * line). Shared by the LSU's per-access demand and the cache's
+ * fetch/reply sizing so the two cannot drift apart.
+ */
+inline std::uint32_t
+demandTransferBytes(std::uint32_t demand, std::uint32_t quantum,
+                    std::uint32_t line_bytes)
+{
+    if (demand == 0 || demand >= line_bytes)
+        return line_bytes;
+    return std::min<std::uint32_t>(
+        line_bytes,
+        static_cast<std::uint32_t>(roundUp(demand, quantum)));
 }
 
 /** Write handling policy (paper Table I). */
@@ -71,6 +96,22 @@ struct CacheParams
     /** Set-index divisor for banks of line-interleaved caches (the
      *  total bank count), so sets are indexed on bank-local lines. */
     std::uint32_t indexDivisor = 1;
+    /**
+     * L1 read-bypass (§VI mitigation): read misses allocate nothing --
+     * no line reservation, no MSHR entry -- and go straight to the
+     * miss queue with a demand-sized fetch; the reply completes the
+     * waiting LSU slot without filling the cache.
+     */
+    bool bypassReads = false;
+    /**
+     * Sector size in bytes (0 = unsectored): data movement below this
+     * cache happens in sectors -- demand-sized read fetches/replies
+     * and no fetch-on-write for sector-aligned partial stores. Tags
+     * stay line-granular (an optimistic sector model: a fill
+     * validates the whole line for tag purposes; only the bytes moved
+     * are accounted).
+     */
+    std::uint32_t sectorBytes = 0;
 };
 
 /** Result of presenting one access to the cache. */
@@ -114,6 +155,9 @@ struct CacheAccess
     Addr lineAddr = 0;
     bool write = false;
     std::uint32_t storeBytes = 0;
+    /** Demanded bytes within the line for reads (0 = whole line);
+     *  sizes the fetch/reply under the bypass/sectored variants. */
+    std::uint32_t dataBytes = 0;
     /** L1: identifies the waiter to wake on fill. */
     int warpId = -1;
     int slotId = -1;
@@ -128,6 +172,7 @@ struct CacheCounters
     std::uint64_t accesses = 0;
     std::uint64_t readHits = 0;
     std::uint64_t readMisses = 0;
+    std::uint64_t bypassedReads = 0; ///< of readMisses: allocated nothing
     std::uint64_t mshrMerges = 0;
     std::uint64_t writeHits = 0;
     std::uint64_t writeMisses = 0;
@@ -236,6 +281,11 @@ class CacheModel
 
     /** Try to occupy the data port for one line's worth of transfer. */
     bool tryUsePort(Cycle now);
+
+    /** Fetch/reply size for @p acc's demand, rounded up to @p quantum
+     *  and capped at the line. */
+    std::uint32_t fetchBytesFor(const CacheAccess &acc,
+                                std::uint32_t quantum) const;
 
     MemFetch *makePacket(AccessType type, Addr line_addr,
                          std::uint32_t store_bytes, const CacheAccess &acc,

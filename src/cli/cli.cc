@@ -220,6 +220,23 @@ runSec4(const exp::ExperimentOptions &opts, std::ostream &os)
 }
 
 void
+runSec6(const exp::ExperimentOptions &opts, std::ostream &os)
+{
+    heading(opts, os,
+            "=== Sec. VI: per-level bandwidth utilization under the "
+            "mitigations ===");
+    emit(opts, os, exp::sec6BandwidthUtilization(opts).table);
+    heading(opts, os,
+            "\nSec. VI: mitigation speedups over baseline");
+    emit(opts, os, exp::sec6MitigationSpeedups(opts).table);
+    note(opts, os,
+         "\n(L1-bypass: read misses allocate nothing and fetch only "
+         "the demand;\n L2-sectored: 32B-sector data movement below "
+         "the L1s;\n L2-decoupled: 24 L2 banks on a bank-first "
+         "interleave, 6 DRAM partitions)\n");
+}
+
+void
 runSec7(const exp::ExperimentOptions &opts, std::ostream &os)
 {
     heading(opts, os,
@@ -344,7 +361,8 @@ printUsage(std::ostream &os)
           "  --config=NAME     config preset for --dump-stats:\n"
           "                    baseline (default), L1, L2, DRAM,\n"
           "                    L1+L2, L2+DRAM, All, HBM, 16+48, 16+68,\n"
-          "                    32+52, P-inf, P-DRAM, fixed-<N>\n"
+          "                    32+52, L1-bypass, L2-sectored,\n"
+          "                    L2-decoupled, P-inf, P-DRAM, fixed-<N>\n"
           "  --cache-dir=DIR   persistent SimCache tier: warm\n"
           "                    (profile, config) pairs load from DIR\n"
           "                    instead of re-simulating\n"
@@ -510,10 +528,14 @@ runJobs(const std::vector<std::string> &names,
 
     std::string dir = opts.cacheDir;
     if (dir.empty()) {
-        char tmpl[] = "/tmp/bwsim-cache-XXXXXX";
-        const char *d = ::mkdtemp(tmpl);
+        std::string tmpl_str = scratchCacheDirTemplate();
+        std::vector<char> tmpl(tmpl_str.begin(), tmpl_str.end());
+        tmpl.push_back('\0');
+        const char *d = ::mkdtemp(tmpl.data());
         if (!d) {
-            err << "bwsim: cannot create a temporary --jobs cache dir\n";
+            err << "bwsim: cannot create a temporary --jobs cache dir "
+                   "under '"
+                << tmpl_str << "'\n";
             return 1;
         }
         dir = d;
@@ -604,6 +626,19 @@ runJobs(const std::vector<std::string> &names,
 
 } // anonymous namespace
 
+std::string
+scratchCacheDirTemplate()
+{
+    // Respect TMPDIR like mktemp(1)/mkstemp(3) users do; /tmp is only
+    // the fallback. Trailing slashes are trimmed so "$TMPDIR/" does
+    // not produce a double separator.
+    const char *tmpdir = std::getenv("TMPDIR");
+    std::string base = (tmpdir && *tmpdir) ? tmpdir : "/tmp";
+    while (base.size() > 1 && base.back() == '/')
+        base.pop_back();
+    return base + "/bwsim-cache-XXXXXX";
+}
+
 const std::vector<Experiment> &
 experimentRegistry()
 {
@@ -628,6 +663,8 @@ experimentRegistry()
          "bench_fig08_l2_stalls", runFig8},
         {"fig9", "Fig. 9: L1 stall distribution",
          "bench_fig09_l1_stalls", runFig9},
+        {"sec6", "Sec. VI: hierarchy mitigations (bandwidth + speedup)",
+         "bench_sec6_mitigations", runSec6},
         {"tab3", "Table III: consolidated design space",
          "bench_tab03_design_space", runTab3},
         {"fig10", "Fig. 10: 4x bandwidth scaling",

@@ -67,6 +67,13 @@ int runExperiment(const std::string &name,
  */
 int runExperimentFromEnv(const std::string &name);
 
+/**
+ * mkdtemp(3) template for the scratch cache directory a --jobs run
+ * creates when no --cache-dir is given: "$TMPDIR/bwsim-cache-XXXXXX",
+ * falling back to /tmp when TMPDIR is unset or empty.
+ */
+std::string scratchCacheDirTemplate();
+
 /** Full argv-driven entry point behind main(). */
 int cliMain(int argc, const char *const *argv, std::ostream &out,
             std::ostream &err);

@@ -521,6 +521,92 @@ fig12CostEffective(const ExperimentOptions &opts)
     return buildSpeedupTable(profiles, names, speedups, "speedup");
 }
 
+std::vector<GpuConfig>
+mitigationConfigs()
+{
+    return {GpuConfig::baseline(), GpuConfig::l1Bypass(),
+            GpuConfig::l2Sectored(), GpuConfig::l2Decoupled()};
+}
+
+/**
+ * The paper's bandwidth-utilization comparison: the fraction of each
+ * boundary's peak bandwidth in use under the baseline and under each
+ * §VI mitigation. Columns are "<config>:<boundary>". Utilization --
+ * not raw bytes -- is the comparable quantity: the byte totals at the
+ * two icnt boundaries agree once drained, but the same bytes cross 15
+ * core ports on one side and totalL2Banks bank ports on the other.
+ */
+SeriesTable
+sec6BandwidthUtilization(const ExperimentOptions &opts)
+{
+    auto profiles = selectBenchmarks(opts);
+    auto configs = mitigationConfigs();
+    static const char *const levels[] = {"l1-icnt", "icnt-l2", "l2-dram"};
+
+    SeriesTable t;
+    std::vector<std::string> headers{"benchmark"};
+    for (const auto &cfg : configs) {
+        for (const char *lvl : levels) {
+            t.colNames.push_back(cfg.name + ":" + lvl);
+            headers.push_back(t.colNames.back());
+        }
+    }
+    t.table = stats::TextTable(headers);
+
+    std::vector<std::vector<SimResult>> results;
+    results.reserve(configs.size());
+    for (const auto &cfg : configs)
+        results.push_back(runConfig(profiles, cfg, opts.threads));
+
+    std::vector<double> col_sums(t.colNames.size(), 0.0);
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        t.rowNames.push_back(profiles[b].name);
+        t.table.newRow().add(profiles[b].name);
+        std::vector<double> row;
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const SimResult &r = results[c][b];
+            for (double v : {r.l1IcntUtil, r.icntL2Util, r.l2DramUtil}) {
+                col_sums[row.size()] += v;
+                row.push_back(v);
+                t.table.addNum(v, 3);
+            }
+        }
+        t.value.push_back(std::move(row));
+    }
+    t.rowNames.push_back("AVG");
+    t.table.newRow().add("AVG");
+    std::vector<double> avg_row;
+    for (std::size_t c = 0; c < t.colNames.size(); ++c) {
+        double v = profiles.empty()
+                       ? 0.0
+                       : col_sums[c] / double(profiles.size());
+        avg_row.push_back(v);
+        t.table.addNum(v, 3);
+    }
+    t.value.push_back(std::move(avg_row));
+    return t;
+}
+
+SeriesTable
+sec6MitigationSpeedups(const ExperimentOptions &opts)
+{
+    auto profiles = selectBenchmarks(opts);
+    auto configs = mitigationConfigs();
+    auto base = runConfig(profiles, configs.front(), opts.threads);
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> speedups;
+    for (std::size_t c = 1; c < configs.size(); ++c) {
+        auto res = runConfig(profiles, configs[c], opts.threads);
+        std::vector<double> col;
+        for (std::size_t b = 0; b < profiles.size(); ++b)
+            col.push_back(res[b].speedupOver(base[b]));
+        names.push_back(configs[c].name);
+        speedups.push_back(std::move(col));
+    }
+    return buildSpeedupTable(profiles, names, speedups, "speedup");
+}
+
 stats::TextTable
 tab1BaselineConfig()
 {

@@ -150,6 +150,14 @@ std::vector<double> fig11DefaultFrequencies();
 std::vector<std::string> fig11DefaultBenchmarks();
 /** Fig. 12: cost-effective configs 16+48 / 16+68 / 32+52 vs HBM. */
 SeriesTable fig12CostEffective(const ExperimentOptions &opts);
+/** The §VI hierarchy-variant configs: baseline, then L1-bypass,
+ *  L2-sectored and L2-decoupled. */
+std::vector<GpuConfig> mitigationConfigs();
+/** §VI: per-level bandwidth (bytes/cycle at L1<->icnt, icnt<->L2 and
+ *  L2<->DRAM) for baseline vs. each mitigation preset. */
+SeriesTable sec6BandwidthUtilization(const ExperimentOptions &opts);
+/** §VI: speedup of each mitigation preset over baseline. */
+SeriesTable sec6MitigationSpeedups(const ExperimentOptions &opts);
 /**@}*/
 
 /** @name Static tables (no simulation) */

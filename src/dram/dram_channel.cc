@@ -77,8 +77,6 @@ DramLegalityChecker::onCommand(DramCmd cmd, std::uint32_t bank, Cycle now)
 DramChannel::DramChannel(const DramParams &params,
                          MemFetchAllocator *allocator, int partition_id)
     : cfg(params), alloc(allocator), partitionId(partition_id),
-      burstCycles(static_cast<std::uint32_t>(
-          divCeil(params.lineBytes, params.busBytesPerCycle))),
       banks(params.numBanks),
       returnQ(params.returnQueueEntries),
       checker(params.timing, params.numBanks,
@@ -99,6 +97,10 @@ DramChannel::registerStats(stats::Group &parent)
     g.bindScalar("writes", "column write commands", ctr.writes);
     g.bindScalar("activates", "row activate commands", ctr.activates);
     g.bindScalar("precharges", "precharge commands", ctr.precharges);
+    g.bindScalar("bytes_read", "data bytes read over the bus",
+                 ctr.bytesRead);
+    g.bindScalar("bytes_written", "data bytes written over the bus",
+                 ctr.bytesWritten);
     g.bindScalar("data_bus_busy_cycles",
                  "command-clock cycles with the data bus transferring",
                  ctr.dataBusBusyCycles);
@@ -160,11 +162,19 @@ DramChannel::tryIssueColumn(double now_ps)
             continue; // no room to land the read data
         }
 
-        // Issue the column command.
-        Cycle data_end = data_start + burstCycles;
+        // Issue the column command. The burst moves the packet's data
+        // payload: writebacks carry their store bytes, read fetches
+        // what the servicing cache allocates (full lines for an
+        // unsectored L2, demanded sectors for a sectored one).
+        std::uint32_t transfer =
+            it->write ? std::max<std::uint32_t>(1, it->mf->storeBytes)
+                      : std::max<std::uint32_t>(1, it->mf->fillBytes);
+        std::uint32_t burst = static_cast<std::uint32_t>(
+            divCeil(transfer, cfg.busBytesPerCycle));
+        Cycle data_end = data_start + burst;
         busFreeAt = data_end;
         chanColAllowedAt = cycle + cfg.timing.tCCD;
-        ctr.dataBusBusyCycles += burstCycles;
+        ctr.dataBusBusyCycles += burst;
         if (it->write) {
             checker.onCommand(DramCmd::WriteCol, it->bank, cycle);
             b.preAllowedAt =
@@ -173,12 +183,14 @@ DramChannel::tryIssueColumn(double now_ps)
             b.readColAfterWrite = data_end + cfg.timing.tCDLR;
             writeDrainPipe.push(it->mf, data_end);
             ++ctr.writes;
+            ctr.bytesWritten += transfer;
         } else {
             checker.onCommand(DramCmd::ReadCol, it->bank, cycle);
             readReturnPipe.push(it->mf,
                                 data_end + cfg.returnPipeLatency);
             ++returnsInFlight;
             ++ctr.reads;
+            ctr.bytesRead += transfer;
         }
         (void)now_ps;
         schedQ.erase(it);

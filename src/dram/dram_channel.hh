@@ -83,6 +83,10 @@ struct DramCounters
     std::uint64_t writes = 0;
     std::uint64_t activates = 0;
     std::uint64_t precharges = 0;
+    /** Data bytes moved over the bus (the L2<->DRAM boundary bytes;
+     *  sector-sized read bursts under the sectored variant). */
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
     std::uint64_t dataBusBusyCycles = 0;
     std::uint64_t pendingCycles = 0; ///< cycles with >=1 queued request
     std::uint64_t cycles = 0;
@@ -180,7 +184,6 @@ class DramChannel
     DramParams cfg;
     MemFetchAllocator *alloc;
     int partitionId;
-    std::uint32_t burstCycles;
 
     Cycle cycle = 0;
     std::deque<Request> schedQ;

@@ -34,8 +34,16 @@ MemoryPartition::registerStats(stats::Group &parent)
         parent.createChild(csprintf("part%d", cfg.partitionId));
     for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b)
         banks[b]->registerStats(g, csprintf("l2b%u", b));
-    if (channel)
+    if (channel) {
         channel->registerStats(g);
+    } else {
+        g.bindScalar("ideal_dram_bytes_read",
+                     "data bytes read through the ideal-DRAM pipe",
+                     idealBytesRead);
+        g.bindScalar("ideal_dram_bytes_written",
+                     "data bytes sunk by the ideal-DRAM write sink",
+                     idealBytesWritten);
+    }
     accessQHist.registerStats(
         g, "l2_access_occ",
         "L2 access-queue occupancy bands (Fig. 4)");
@@ -123,8 +131,10 @@ MemoryPartition::tickL2(double now_ps)
                 mf->l2BankId = static_cast<int>(gid);
                 bank.missQueuePop();
                 if (mf->isWrite()) {
+                    idealBytesWritten += mf->storeBytes;
                     alloc->free(mf); // infinite-bandwidth write sink
                 } else {
+                    idealBytesRead += mf->fillBytes;
                     idealPipe.push(mf, l2Cycle + cfg.idealDramLatency);
                 }
             } else if (channel->canAccept()) {

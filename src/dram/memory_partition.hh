@@ -32,6 +32,7 @@
 #include "cache/cache.hh"
 #include "dram/dram_channel.hh"
 #include "icnt/crossbar.hh"
+#include "mem/addr_map.hh"
 #include "sim/queue.hh"
 #include "stats/occupancy_hist.hh"
 
@@ -49,6 +50,10 @@ struct PartitionParams
     /** Fixed L2 service pipeline latency in L2 cycles. */
     std::uint32_t ropLatency = 52;
     DramParams dram;
+    /** How global bank ids map onto partitions (must agree with the
+     *  AddressMap: contiguous blocks under PartitionFirst, stride
+     *  numPartitions under BankFirst). */
+    L2Interleave interleave = L2Interleave::PartitionFirst;
     /** P_DRAM mode: constant-latency, infinite-bandwidth DRAM. */
     bool idealDram = false;
     /** Ideal-DRAM latency in L2 cycles (~100 core cycles). */
@@ -67,6 +72,9 @@ class MemoryPartition
     std::uint32_t
     globalBankId(std::uint32_t b) const
     {
+        if (cfg.interleave == L2Interleave::BankFirst)
+            return static_cast<std::uint32_t>(cfg.partitionId) +
+                   b * cfg.numPartitions;
         return cfg.partitionId * cfg.banksPerPartition + b;
     }
 
@@ -96,6 +104,18 @@ class MemoryPartition
         return accessQHist;
     }
     const stats::OccupancyHist &dramQueueHist() const { return dramQHist; }
+
+    /** Data bytes this partition moved across the L2<->DRAM boundary
+     *  (bus bytes with a real channel, pipe bytes in P_DRAM mode). */
+    std::uint64_t
+    dramDataBytes() const
+    {
+        if (channel) {
+            return channel->counters().bytesRead +
+                   channel->counters().bytesWritten;
+        }
+        return idealBytesRead + idealBytesWritten;
+    }
     /**@}*/
 
   private:
@@ -114,6 +134,10 @@ class MemoryPartition
 
     Cycle l2Cycle = 0;
     Cycle dramCycle = 0;
+
+    /** L2<->DRAM bytes through the ideal pipe (P_DRAM mode only). */
+    std::uint64_t idealBytesRead = 0;
+    std::uint64_t idealBytesWritten = 0;
 
     stats::OccupancyHist accessQHist;
     stats::OccupancyHist dramQHist;

@@ -276,6 +276,26 @@ Gpu::harvest() const
         r.dramRowHitRate =
             static_cast<double>(hits) / static_cast<double>(cols);
     }
+
+    // Per-level bandwidth (the paper's bytes/cycle argument): the
+    // "bw" formulas registered by NormalMemSystem; absent (and zero)
+    // under the ideal network-free hierarchies.
+    if (const stats::Group *bw = statsRoot.child("bw")) {
+        auto val = [bw](const char *stat) {
+            const stats::StatBase *s = bw->stat(stat);
+            bwsim_assert(s, "bw group lacks stat '%s'", stat);
+            return s->value();
+        };
+        r.l1IcntBytes = static_cast<std::uint64_t>(val("l1_icnt_bytes"));
+        r.icntL2Bytes = static_cast<std::uint64_t>(val("icnt_l2_bytes"));
+        r.l2DramBytes = static_cast<std::uint64_t>(val("l2_dram_bytes"));
+        r.l1IcntBpc = val("l1_icnt_bpc");
+        r.icntL2Bpc = val("icnt_l2_bpc");
+        r.l2DramBpc = val("l2_dram_bpc");
+        r.l1IcntUtil = val("l1_icnt_util");
+        r.icntL2Util = val("icnt_l2_util");
+        r.l2DramUtil = val("l2_dram_util");
+    }
     return r;
 }
 

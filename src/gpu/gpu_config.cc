@@ -24,6 +24,8 @@ GpuConfig::l1dParams() const
     p.respQueueEntries = 0;
     p.hitLatency = l1dHitLatency;
     p.portBytesPerCycle = 0;
+    p.bypassReads = l1BypassReads;
+    p.sectorBytes = sectorBytes;
     return p;
 }
 
@@ -61,6 +63,7 @@ GpuConfig::l2BankParams() const
     p.hitLatency = l2HitLatency;
     p.portBytesPerCycle = l2PortBytes;
     p.indexDivisor = totalL2Banks();
+    p.sectorBytes = sectorBytes;
     return p;
 }
 
@@ -119,6 +122,7 @@ GpuConfig::partitionParams(int partition_id) const
     p.accessQueueEntries = l2AccessQueue;
     p.ropLatency = ropLatency;
     p.dram = dramParams();
+    p.interleave = l2Interleave;
     p.idealDram = (mode == MemoryMode::IdealDram);
     // idealDramLatency is in core cycles; the partition pipe runs in
     // L2 cycles.
@@ -151,7 +155,8 @@ GpuConfig::coreParams(int core_id) const
 AddressMap
 GpuConfig::addressMap() const
 {
-    return AddressMap(numPartitions, l2BanksPerPartition, lineBytes);
+    return AddressMap(numPartitions, l2BanksPerPartition, lineBytes,
+                      l2Interleave);
 }
 
 void
@@ -169,6 +174,12 @@ GpuConfig::validate() const
     }
     if (mode == MemoryMode::FixedL1Lat && fixedL1MissLatency == 0)
         warn("config '%s': zero fixed L1 miss latency", name.c_str());
+    if (sectorBytes != 0 &&
+        (!isPowerOf2(sectorBytes) || lineBytes % sectorBytes != 0)) {
+        fatal("config '%s': sector size %u must be a power of two "
+              "dividing the %u-byte line",
+              name.c_str(), sectorBytes, lineBytes);
+    }
 }
 
 GpuConfig
@@ -322,6 +333,37 @@ GpuConfig::costEffective32_52()
 }
 
 GpuConfig
+GpuConfig::l1Bypass()
+{
+    GpuConfig c;
+    c.name = "L1-bypass";
+    c.l1BypassReads = true;
+    return c;
+}
+
+GpuConfig
+GpuConfig::l2Sectored()
+{
+    GpuConfig c;
+    c.name = "L2-sectored";
+    c.sectorBytes = 32;
+    return c;
+}
+
+GpuConfig
+GpuConfig::l2Decoupled()
+{
+    // 24 L2 banks over the same 6 DRAM partitions, addressed on the
+    // bank-first interleave: the bank count is a free knob, no longer
+    // 2x the partition count.
+    GpuConfig c;
+    c.name = "L2-decoupled";
+    c.l2BanksPerPartition = 4;
+    c.l2Interleave = L2Interleave::BankFirst;
+    return c;
+}
+
+GpuConfig
 GpuConfig::perfectMem()
 {
     GpuConfig c;
@@ -370,6 +412,9 @@ presetFactories()
             {"16+48", &GpuConfig::costEffective16_48},
             {"16+68", &GpuConfig::costEffective16_68},
             {"32+52", &GpuConfig::costEffective32_52},
+            {"L1-bypass", &GpuConfig::l1Bypass},
+            {"L2-sectored", &GpuConfig::l2Sectored},
+            {"L2-decoupled", &GpuConfig::l2Decoupled},
             {"P-inf", &GpuConfig::perfectMem},
             {"P-DRAM", &GpuConfig::idealDram},
         };
@@ -423,7 +468,7 @@ configPresetNames()
 // assert, forcing the new field to be considered for the key below
 // (and the size here updated). Gated to one ABI (new-ABI libstdc++ on
 // x86-64) so other platforms with different padding still build.
-static_assert(sizeof(GpuConfig) == 320,
+static_assert(sizeof(GpuConfig) == 328,
               "GpuConfig changed: add the new field to cacheKey() and "
               "serializeConfig()/deserializeConfig() (bumping "
               "gpuConfigSerdesVersion), or the SimCache conflates "
@@ -500,6 +545,9 @@ GpuConfig::cacheKey() const
     addU(dramSchedQueue);
     addU(dramReturnQueue);
     addU(dramReturnPipeLatency);
+    addU(l1BypassReads ? 1 : 0);
+    addU(sectorBytes);
+    addU(static_cast<std::uint64_t>(l2Interleave));
     addU(static_cast<std::uint64_t>(mode));
     addU(fixedL1MissLatency);
     addU(perfectL2Latency);
@@ -585,6 +633,9 @@ serializeConfig(ByteWriter &w, const GpuConfig &c)
     w.u32(c.dramSchedQueue);
     w.u32(c.dramReturnQueue);
     w.u32(c.dramReturnPipeLatency);
+    w.u8(c.l1BypassReads ? 1 : 0);
+    w.u32(c.sectorBytes);
+    w.u8(static_cast<std::uint8_t>(c.l2Interleave));
     w.u8(static_cast<std::uint8_t>(c.mode));
     w.u32(c.fixedL1MissLatency);
     w.u32(c.perfectL2Latency);
@@ -658,6 +709,15 @@ deserializeConfig(ByteReader &r, GpuConfig &out)
     out.dramSchedQueue = r.u32();
     out.dramReturnQueue = r.u32();
     out.dramReturnPipeLatency = r.u32();
+    const std::uint8_t bypass = r.u8();
+    if (bypass > 1)
+        return false;
+    out.l1BypassReads = bypass != 0;
+    out.sectorBytes = r.u32();
+    const std::uint8_t interleave = r.u8();
+    if (interleave > static_cast<std::uint8_t>(L2Interleave::BankFirst))
+        return false;
+    out.l2Interleave = static_cast<L2Interleave>(interleave);
     const std::uint8_t mode = r.u8();
     if (mode > static_cast<std::uint8_t>(MemoryMode::FixedL1Lat))
         return false;

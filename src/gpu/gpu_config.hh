@@ -126,6 +126,23 @@ struct GpuConfig
     std::uint32_t dramReturnPipeLatency = 30;
     /**@}*/
 
+    /** @name Hierarchy-variant knobs (the paper's §VI mitigations) */
+    /**@{*/
+    /** L1D read misses bypass allocation: no reservation, no MSHR,
+     *  demand-sized fetch; the reply completes the LSU slot directly. */
+    bool l1BypassReads = false;
+    /** Sector size in bytes (0 = unsectored): data movement below the
+     *  L1s happens in sectors (demand-sized fetches and replies, no
+     *  fetch-on-write for sector-covering stores). Must divide the
+     *  line size. */
+    std::uint32_t sectorBytes = 0;
+    /** L2 bank selection: PartitionFirst welds the bank stream to the
+     *  partition stream (baseline); BankFirst interleaves lines over
+     *  the banks directly, decoupling the L2 bank count from the DRAM
+     *  partition count (see mem/addr_map.hh). */
+    L2Interleave l2Interleave = L2Interleave::PartitionFirst;
+    /**@}*/
+
     /** @name Memory-system modelling mode */
     /**@{*/
     MemoryMode mode = MemoryMode::Normal;
@@ -195,6 +212,17 @@ struct GpuConfig
     static GpuConfig fixedL1Lat(std::uint32_t latency_cycles);
     /**@}*/
 
+    /** @name Hierarchy-variant presets (§VI mitigations) */
+    /**@{*/
+    /** Baseline + L1 read-bypass. */
+    static GpuConfig l1Bypass();
+    /** Baseline + 32 B sectored data movement below the L1s. */
+    static GpuConfig l2Sectored();
+    /** Baseline + 24 L2 banks on a bank-first interleave (bank count
+     *  decoupled from the 6 DRAM partitions). */
+    static GpuConfig l2Decoupled();
+    /**@}*/
+
     /** @name Table III scaling helpers (4x factors) */
     /**@{*/
     void applyScaleL1(unsigned factor = 4);
@@ -220,7 +248,7 @@ std::vector<std::string> configPresetNames();
  * serializeConfig()/deserializeConfig() change shape: the work-queue
  * job files embed it and reject jobs written by a different layout.
  */
-constexpr std::uint32_t gpuConfigSerdesVersion = 1;
+constexpr std::uint32_t gpuConfigSerdesVersion = 2;
 
 /** Append every GpuConfig field to @p w (see common/serdes.hh). */
 void serializeConfig(ByteWriter &w, const GpuConfig &c);

@@ -15,7 +15,7 @@ namespace bwsim
 // guards: growing SimResult trips this assert, forcing the new field
 // into serializeResult()/deserializeResult(), a simResultSerdesVersion
 // bump, and an updated size here.
-static_assert(sizeof(SimResult) == 440,
+static_assert(sizeof(SimResult) == 512,
               "SimResult changed: update serializeResult()/"
               "deserializeResult(), bump simResultSerdesVersion, and "
               "update this size");
@@ -82,6 +82,16 @@ serializeResult(ByteWriter &w, const SimResult &r)
     w.u64(r.dramWrites);
     w.u64(r.l1StallCycles);
     w.u64(r.l2StallCycles);
+
+    w.u64(r.l1IcntBytes);
+    w.u64(r.icntL2Bytes);
+    w.u64(r.l2DramBytes);
+    w.f64(r.l1IcntBpc);
+    w.f64(r.icntL2Bpc);
+    w.f64(r.l2DramBpc);
+    w.f64(r.l1IcntUtil);
+    w.f64(r.icntL2Util);
+    w.f64(r.l2DramUtil);
 }
 
 bool
@@ -121,6 +131,16 @@ deserializeResult(ByteReader &r, SimResult &out)
     out.dramWrites = r.u64();
     out.l1StallCycles = r.u64();
     out.l2StallCycles = r.u64();
+
+    out.l1IcntBytes = r.u64();
+    out.icntL2Bytes = r.u64();
+    out.l2DramBytes = r.u64();
+    out.l1IcntBpc = r.f64();
+    out.icntL2Bpc = r.f64();
+    out.l2DramBpc = r.f64();
+    out.l1IcntUtil = r.f64();
+    out.icntL2Util = r.f64();
+    out.l2DramUtil = r.f64();
     return r.ok();
 }
 

@@ -78,6 +78,28 @@ struct SimResult
     std::uint64_t l2StallCycles = 0;
     /**@}*/
 
+    /** @name Per-level bandwidth (the paper's bytes/cycle argument)
+     *
+     * Bytes crossing each hierarchy boundary, the same divided by
+     * that boundary's clock (interconnect cycles for the two icnt
+     * boundaries, DRAM command cycles for L2<->DRAM), and the
+     * utilization against the boundary's peak (the byte totals at the
+     * two icnt boundaries agree once drained; the differing port
+     * counts make the utilizations the comparable quantity). All zero
+     * under the ideal (network-free) hierarchies.
+     */
+    /**@{*/
+    std::uint64_t l1IcntBytes = 0;
+    std::uint64_t icntL2Bytes = 0;
+    std::uint64_t l2DramBytes = 0;
+    double l1IcntBpc = 0;
+    double icntL2Bpc = 0;
+    double l2DramBpc = 0;
+    double l1IcntUtil = 0;
+    double icntL2Util = 0;
+    double l2DramUtil = 0;
+    /**@}*/
+
     /** Speedup of this run relative to @p base (simulated-time based). */
     double
     speedupOver(const SimResult &base) const
@@ -94,7 +116,7 @@ struct SimResult
  * SimCache tier embeds it in every file header and rejects entries
  * written by a different layout.
  */
-constexpr std::uint32_t simResultSerdesVersion = 1;
+constexpr std::uint32_t simResultSerdesVersion = 2;
 
 /** Append every SimResult field to @p w (see common/serdes.hh). */
 void serializeResult(ByteWriter &w, const SimResult &r);

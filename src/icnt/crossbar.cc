@@ -35,8 +35,10 @@ CrossbarNetwork::registerStats(stats::Group &parent,
                  ctr.packetsEjected);
     g.bindScalar("flits_transferred", "flits moved across the crossbar",
                  ctr.flitsTransferred);
-    g.bindScalar("bytes_carried", "payload bytes carried",
+    g.bindScalar("bytes_carried", "payload bytes accepted at the sources",
                  ctr.bytesCarried);
+    g.bindScalar("bytes_ejected", "payload bytes popped at the sinks",
+                 ctr.bytesEjected);
     g.bindScalar("eject_blocked_cycles",
                  "output-port cycles blocked on a full ejection buffer",
                  ctr.ejectBlockedCycles);
@@ -60,6 +62,7 @@ CrossbarNetwork::inject(std::uint32_t src, std::uint32_t dst, MemFetch *mf,
     p.flitsLeft =
         static_cast<std::uint32_t>(divCeil(bytes ? bytes : 1,
                                            cfg.flitBytes));
+    p.bytes = bytes;
     bool ok = injQ.at(src).push(p);
     bwsim_assert(ok, "inject into full queue on '%s' (check canAccept)",
                  cfg.name.c_str());
@@ -141,7 +144,9 @@ CrossbarNetwork::ejectPeek(std::uint32_t dst)
 MemFetch *
 CrossbarNetwork::ejectPop(std::uint32_t dst)
 {
-    return ejQ.at(dst).pop().mf;
+    Packet p = ejQ.at(dst).pop();
+    ctr.bytesEjected += p.bytes;
+    return p.mf;
 }
 
 std::size_t

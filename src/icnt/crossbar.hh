@@ -59,7 +59,13 @@ struct NetworkCounters
     std::uint64_t packetsInjected = 0;
     std::uint64_t packetsEjected = 0;
     std::uint64_t flitsTransferred = 0;
+    /** Payload bytes accepted at the sources (the injection-side edge
+     *  of the network; a gpu.bw formula input). */
     std::uint64_t bytesCarried = 0;
+    /** Payload bytes popped at the sinks (the ejection-side edge).
+     *  With everything drained this agrees with bytesCarried;
+     *  mid-flight they differ by what is in transit. */
+    std::uint64_t bytesEjected = 0;
     /** Cycles an output port wanted to send but the ejection side was
      *  full (direct measure of ejection back-pressure). */
     std::uint64_t ejectBlockedCycles = 0;
@@ -100,6 +106,9 @@ class CrossbarNetwork
     /** Total packets resident anywhere in this network (for drains). */
     std::size_t packetsInFlight() const;
 
+    /** Network cycles ticked (bytes/cycle denominators). */
+    std::uint64_t cyclesTicked() const { return cycle; }
+
     std::size_t injQueueSize(std::uint32_t src) const;
 
     /** Sample all injection-queue occupancies into @p hist. */
@@ -111,6 +120,7 @@ class CrossbarNetwork
         MemFetch *mf = nullptr;
         std::uint32_t dst = 0;
         std::uint32_t flitsLeft = 0;
+        std::uint32_t bytes = 0; ///< payload size, counted at ejection
     };
 
     NetworkParams cfg;

@@ -6,6 +6,18 @@
  * L2 banks within each partition) at line granularity, spreading any
  * dense address stream over all six baseline partitions like the
  * GPGPU-Sim default mapping does.
+ *
+ * Two interleaves exist. PartitionFirst (the baseline) derives the L2
+ * bank from the partition stream: consecutive lines walk the
+ * partitions, and the bank within a partition advances only once per
+ * full partition sweep -- the bank count is welded to the partition
+ * count. BankFirst is the decoupled interleave of the paper's
+ * bank-count mitigation: consecutive lines walk the *banks* directly
+ * (bank = line mod totalBanks) with the banks themselves striding
+ * across the partitions (partition = bank mod numPartitions), so the
+ * L2 bank count is a free knob while the DRAM partition interleave
+ * stays line-granular -- decoupling the banks must not coarsen the
+ * channel striping as a side effect.
  */
 
 #ifndef BWSIM_MEM_ADDR_MAP_HH
@@ -19,15 +31,23 @@
 namespace bwsim
 {
 
+/** How cache lines spread over L2 banks (see file comment). */
+enum class L2Interleave : std::uint8_t
+{
+    PartitionFirst, ///< baseline: bank derived from partition sweep
+    BankFirst,      ///< decoupled: bank = line mod totalBanks
+};
+
 class AddressMap
 {
   public:
     AddressMap() = default;
 
     AddressMap(std::uint32_t num_partitions, std::uint32_t banks_per_part,
-               std::uint32_t line_bytes)
+               std::uint32_t line_bytes,
+               L2Interleave interleave_ = L2Interleave::PartitionFirst)
         : parts(num_partitions), banksPerPart(banks_per_part),
-          line(line_bytes)
+          line(line_bytes), interleave(interleave_)
     {
         bwsim_assert(parts > 0 && banksPerPart > 0 && line > 0,
                      "bad address map geometry");
@@ -36,10 +56,13 @@ class AddressMap
     std::uint32_t numPartitions() const { return parts; }
     std::uint32_t banksPerPartition() const { return banksPerPart; }
     std::uint32_t totalBanks() const { return parts * banksPerPart; }
+    L2Interleave interleaveMode() const { return interleave; }
 
     std::uint32_t
     partitionOf(Addr line_addr) const
     {
+        if (interleave == L2Interleave::BankFirst)
+            return bankOf(line_addr) % parts;
         return static_cast<std::uint32_t>((line_addr / line) % parts);
     }
 
@@ -48,6 +71,8 @@ class AddressMap
     bankOf(Addr line_addr) const
     {
         std::uint64_t idx = line_addr / line;
+        if (interleave == L2Interleave::BankFirst)
+            return static_cast<std::uint32_t>(idx % totalBanks());
         std::uint32_t part = static_cast<std::uint32_t>(idx % parts);
         std::uint32_t local =
             static_cast<std::uint32_t>((idx / parts) % banksPerPart);
@@ -58,6 +83,7 @@ class AddressMap
     std::uint32_t parts = 6;
     std::uint32_t banksPerPart = 2;
     std::uint32_t line = 128;
+    L2Interleave interleave = L2Interleave::PartitionFirst;
 };
 
 } // namespace bwsim

@@ -64,6 +64,30 @@ class MemFetch
     /** Bytes of store data carried by a write request (0 for reads). */
     std::uint32_t storeBytes = 0;
 
+    /**
+     * Bytes of line data the read reply must carry back to the
+     * requester. A line-allocating L1 fetches the whole line
+     * (dataBytes == lineBytes, the default); the bypass and sectored
+     * hierarchy variants shrink it to the demanded sectors.
+     */
+    std::uint32_t dataBytes = 128;
+
+    /**
+     * Bytes a DRAM read burst must move to fill the servicing cache.
+     * Distinct from dataBytes: an *unsectored* L2 allocates whole
+     * lines, so it pulls the full line from DRAM even when the reply
+     * to a bypassing L1 is demand-sized; only a sectored L2 fetches
+     * demand-sized sectors. Set by the L2 when it forwards the miss.
+     */
+    std::uint32_t fillBytes = 128;
+
+    /**
+     * Read miss that bypassed L1 allocation (§VI mitigation): no MSHR
+     * entry or reserved line exists, so the reply completes the
+     * waiting LSU slot (slotId) directly instead of filling the L1.
+     */
+    bool l1Bypass = false;
+
     AccessType type = AccessType::GlobalRead;
 
     /** Issuing core, or -1 for L2-generated writebacks. */
@@ -108,7 +132,7 @@ class MemFetch
     std::uint32_t
     replyBytes() const
     {
-        return isWrite() ? 0 : packetHeaderBytes + lineBytes;
+        return isWrite() ? 0 : packetHeaderBytes + dataBytes;
     }
 
     /** True when a reply must be routed back to the issuing core. */

@@ -17,6 +17,115 @@ NormalMemSystem::NormalMemSystem(const GpuConfig &config,
             icnt.get()));
         parts.back()->registerStats(stats_parent);
     }
+    registerBandwidthStats(stats_parent);
+}
+
+/**
+ * The paper's per-level bandwidth accounting (its bytes/cycle
+ * argument): bytes crossing each hierarchy boundary, the same divided
+ * by the boundary's clock, and the utilization against the boundary's
+ * peak. The L1<->icnt boundary counts traffic at the core-side edges
+ * of the two networks (requests accepted from the L1 miss queues,
+ * replies popped into the cores); icnt<->L2 counts the L2-side edges
+ * (requests delivered to the L2 access queues, replies injected by
+ * the banks); L2<->DRAM counts the partitions' data-bus bytes.
+ *
+ * In a lossless network the byte *totals* at the two icnt boundaries
+ * agree once everything drains -- what distinguishes them (and what
+ * the paper compares) is utilization: the same bytes cross 15
+ * core-side ports on one boundary and totalL2Banks bank-side ports on
+ * the other, so the per-boundary peaks differ. Gpu::harvest() and
+ * --dump-stats read all of these by name under "gpu.bw".
+ */
+void
+NormalMemSystem::registerBandwidthStats(stats::Group &parent)
+{
+    stats::Group &bw = parent.createChild("bw");
+    const NetworkCounters &req = icnt->request().counters();
+    const NetworkCounters &rep = icnt->reply().counters();
+
+    // Peak bytes/cycle per boundary: every port moves one flit per
+    // network cycle (request out + reply in on each), and every
+    // partition's data bus moves busBytesPerCycle per DRAM cycle.
+    const double flit_pair = double(cfg.reqFlitBytes + cfg.replyFlitBytes);
+    const double l1_icnt_peak = double(cfg.numCores) * flit_pair;
+    const double icnt_l2_peak = double(cfg.totalL2Banks()) * flit_pair;
+    const double l2_dram_peak =
+        double(cfg.numPartitions) * double(cfg.dramBusBytesPerCycle);
+    bw.bindScalar("icnt_cycles", "interconnect/L2 clock cycles ticked",
+                  icntCycles);
+    bw.bindScalar("dram_cycles", "DRAM command-clock cycles ticked",
+                  dramCycles);
+    bw.formula("l1_icnt_bytes", "bytes across the L1<->icnt boundary",
+               [&req, &rep] {
+                   return double(req.bytesCarried + rep.bytesEjected);
+               });
+    bw.formula("icnt_l2_bytes", "bytes across the icnt<->L2 boundary",
+               [&req, &rep] {
+                   return double(req.bytesEjected + rep.bytesCarried);
+               });
+    bw.formula("l2_dram_bytes", "bytes across the L2<->DRAM boundary",
+               [this] {
+                   std::uint64_t n = 0;
+                   for (const auto &p : parts)
+                       n += p->dramDataBytes();
+                   return double(n);
+               });
+    bw.formula("l1_icnt_bpc",
+               "L1<->icnt bytes per interconnect cycle",
+               [&req, &rep, this] {
+                   return icntCycles
+                              ? double(req.bytesCarried +
+                                       rep.bytesEjected) /
+                                    double(icntCycles)
+                              : 0.0;
+               });
+    bw.formula("icnt_l2_bpc",
+               "icnt<->L2 bytes per interconnect cycle",
+               [&req, &rep, this] {
+                   return icntCycles
+                              ? double(req.bytesEjected +
+                                       rep.bytesCarried) /
+                                    double(icntCycles)
+                              : 0.0;
+               });
+    bw.formula("l2_dram_bpc", "L2<->DRAM bytes per DRAM command cycle",
+               [this] {
+                   if (!dramCycles)
+                       return 0.0;
+                   std::uint64_t n = 0;
+                   for (const auto &p : parts)
+                       n += p->dramDataBytes();
+                   return double(n) / double(dramCycles);
+               });
+    bw.formula("l1_icnt_util",
+               "L1<->icnt bytes over the core ports' peak",
+               [&req, &rep, this, l1_icnt_peak] {
+                   return icntCycles && l1_icnt_peak > 0
+                              ? double(req.bytesCarried +
+                                       rep.bytesEjected) /
+                                    (double(icntCycles) * l1_icnt_peak)
+                              : 0.0;
+               });
+    bw.formula("icnt_l2_util",
+               "icnt<->L2 bytes over the L2 bank ports' peak",
+               [&req, &rep, this, icnt_l2_peak] {
+                   return icntCycles && icnt_l2_peak > 0
+                              ? double(req.bytesEjected +
+                                       rep.bytesCarried) /
+                                    (double(icntCycles) * icnt_l2_peak)
+                              : 0.0;
+               });
+    bw.formula("l2_dram_util",
+               "L2<->DRAM bytes over the partitions' data-bus peak",
+               [this, l2_dram_peak] {
+                   if (!dramCycles || l2_dram_peak <= 0)
+                       return 0.0;
+                   std::uint64_t n = 0;
+                   for (const auto &p : parts)
+                       n += p->dramDataBytes();
+                   return double(n) / (double(dramCycles) * l2_dram_peak);
+               });
 }
 
 void
@@ -54,6 +163,7 @@ NormalMemSystem::acceptRequests(int core_id, SmCore &core, double now_ps,
 void
 NormalMemSystem::icntTick(double now_ps)
 {
+    ++icntCycles;
     icnt->tick();
     for (auto &p : parts)
         p->tickL2(now_ps);
@@ -62,6 +172,7 @@ NormalMemSystem::icntTick(double now_ps)
 void
 NormalMemSystem::dramTick(double now_ps)
 {
+    ++dramCycles;
     for (auto &p : parts)
         p->tickDram(now_ps);
 }

@@ -110,10 +110,16 @@ class NormalMemSystem : public MemSystem
     int numPartitions() const override { return int(parts.size()); }
 
   private:
+    /** Register the per-level bandwidth formulas ("bw" group). */
+    void registerBandwidthStats(stats::Group &parent);
+
     const GpuConfig &cfg;
     AddressMap amap;
     std::unique_ptr<Interconnect> icnt;
     std::vector<std::unique_ptr<MemoryPartition>> parts;
+    /** Clock-domain tick counts (bytes/cycle denominators). */
+    std::uint64_t icntCycles = 0;
+    std::uint64_t dramCycles = 0;
 };
 
 /**

@@ -59,6 +59,11 @@ SmCore::registerStats(stats::Group &parent)
                  ctr.storesIssued);
     g.bindScalar("l1_accesses", "coalesced accesses presented to the L1D",
                  ctr.l1Accesses);
+    g.bindScalar("req_bytes_out",
+                 "request bytes drained toward the interconnect",
+                 ctr.reqBytesOut);
+    g.bindScalar("reply_bytes_in", "reply bytes delivered to this core",
+                 ctr.replyBytesIn);
     g.bindScalar("ctas_completed", "thread blocks retired",
                  ctr.ctasCompleted);
     g.bindScalar("warps_completed", "warps retired", ctr.warpsCompleted);
@@ -479,6 +484,14 @@ SmCore::memStage(double now_ps)
     acc.lineAddr = s.addrs[s.nextIdx];
     acc.write = s.write;
     acc.storeBytes = s.storeBytes;
+    // A fully-coalesced warp load touches one line's worth of data;
+    // divergence spreads that footprint over the coalesced lines, in
+    // 32 B transaction quanta. This demand sizes the fetch/reply under
+    // the bypass and sectored hierarchy variants.
+    std::uint32_t per_line = static_cast<std::uint32_t>(divCeil(
+        cfg.l1d.lineBytes, static_cast<std::uint32_t>(s.addrs.size())));
+    acc.dataBytes = demandTransferBytes(per_line, kDemandQuantumBytes,
+                                        cfg.l1d.lineBytes);
     acc.warpId = s.warpId;
     acc.slotId = s.pendingIdx;
     CacheOutcome out = l1dCache->access(acc, cycle, now_ps);
@@ -640,21 +653,21 @@ SmCore::popOutgoing()
     bwsim_assert(hasOutgoing(), "popOutgoing with nothing pending");
     bool d_first = outgoingToggle || l1iCache->missQueueEmpty();
     outgoingToggle = !outgoingToggle;
-    if (!l1dCache->missQueueEmpty() && d_first) {
-        l1dCache->missQueuePop();
-        return;
-    }
-    if (!l1iCache->missQueueEmpty()) {
-        l1iCache->missQueuePop();
-        return;
-    }
-    l1dCache->missQueuePop();
+    MemFetch *mf;
+    if (!l1dCache->missQueueEmpty() && d_first)
+        mf = l1dCache->missQueuePop();
+    else if (!l1iCache->missQueueEmpty())
+        mf = l1iCache->missQueuePop();
+    else
+        mf = l1dCache->missQueuePop();
+    ctr.reqBytesOut += mf->requestBytes();
 }
 
 void
 SmCore::deliverResponse(MemFetch *mf, double now_ps)
 {
     mf->tReplyBack = now_ps;
+    ctr.replyBytesIn += mf->replyBytes();
     if (mf->type == AccessType::GlobalRead) {
         double lat_cycles = (now_ps - mf->tLeftL1) / cfg.corePeriodPs;
         ctr.memLatSum += lat_cycles;
@@ -663,6 +676,14 @@ SmCore::deliverResponse(MemFetch *mf, double now_ps)
             ctr.l2HitLatSum += lat_cycles;
             ++ctr.l2HitLatCount;
         }
+    }
+
+    if (mf->l1Bypass) {
+        // Bypassed read: nothing to fill -- the reply completes the
+        // waiting LSU slot directly.
+        pendingAccessDone(mf->slotId);
+        alloc->free(mf);
+        return;
     }
 
     std::vector<MshrWaiter> woken;

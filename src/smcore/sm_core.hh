@@ -107,6 +107,11 @@ struct CoreCounters
     std::uint64_t loadsIssued = 0;
     std::uint64_t storesIssued = 0;
     std::uint64_t l1Accesses = 0;
+    /** Bytes this core moved across the L1<->icnt boundary: request
+     *  packets drained toward the interconnect and reply packets
+     *  delivered back (per-core attribution of the gpu.bw totals). */
+    std::uint64_t reqBytesOut = 0;
+    std::uint64_t replyBytesIn = 0;
     std::uint64_t ctasCompleted = 0;
     std::uint64_t warpsCompleted = 0;
 

@@ -115,15 +115,37 @@ TextTable::printCsv(std::ostream &os) const
 void
 TextTable::printTsv(std::ostream &os) const
 {
-    // TSV has no quoting convention; squash the delimiters instead.
-    auto sanitize = [](const std::string &s) {
-        std::string out = s;
-        for (char &ch : out)
-            if (ch == '\t' || ch == '\n' || ch == '\r')
-                ch = ' ';
+    // TSV has no quoting convention; backslash-escape the delimiters
+    // instead (the IANA/mysqldump convention), symmetric with
+    // printCsv's quoting: a tab or newline in a config or benchmark
+    // name can neither corrupt the grid nor silently lose data --
+    // consumers can round-trip the cell.
+    auto escape = [](const std::string &s) {
+        if (s.find_first_of("\t\n\r\\") == std::string::npos)
+            return s;
+        std::string out;
+        out.reserve(s.size() + 4);
+        for (char ch : s) {
+            switch (ch) {
+              case '\\':
+                out += "\\\\";
+                break;
+              case '\t':
+                out += "\\t";
+                break;
+              case '\n':
+                out += "\\n";
+                break;
+              case '\r':
+                out += "\\r";
+                break;
+              default:
+                out += ch;
+            }
+        }
         return out;
     };
-    printDelimited(os, '\t', sanitize);
+    printDelimited(os, '\t', escape);
 }
 
 void

@@ -307,6 +307,17 @@ makeTestProfile(const std::string &name)
         p.pShared = 1.0;
         p.pRandom = 0.0;
         p.sharedBytes = 256 * kKB;
+    } else if (name == "tiny-divergent") {
+        // Streaming with 4-way coalescing divergence: every warp load
+        // touches 4 lines with a 32-byte demand each, so the bypass
+        // and sectored hierarchy variants have partial-line traffic
+        // to shrink. Stores exercise the sectored no-fetch-on-write
+        // path.
+        p.memFraction = 0.5;
+        p.storeFraction = 0.25;
+        p.pHot = p.pTile = p.pShared = p.pRandom = 0.0; // all stream
+        p.minAccessesPerInst = 4;
+        p.maxAccessesPerInst = 4;
     } else if (name == "tiny-mixed") {
         p.memFraction = 0.35;
         p.storeFraction = 0.2;

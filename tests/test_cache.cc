@@ -465,3 +465,177 @@ TEST(CacheModel, StallsNotCountedAsAccesses)
     EXPECT_EQ(c.counters().accesses, 1u);
     EXPECT_EQ(c.counters().totalStallCycles(), 3u);
 }
+
+TEST(CacheBypass, ReadMissAllocatesNothing)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l1Params();
+    p.bypassReads = true;
+    CacheModel c(p, &alloc, 0);
+    Cycle now = 0;
+
+    CacheAccess acc = readAcc(line(0), 3, 7);
+    acc.dataBytes = 32;
+    EXPECT_EQ(c.access(acc, ++now, 0.0), CacheOutcome::MissIssued);
+
+    // Nothing was reserved or tracked: no MSHR entry, no reserved
+    // line -- only the demand-sized packet in the miss queue.
+    EXPECT_EQ(c.mshrSize(), 0u);
+    EXPECT_EQ(c.reservedLines(), 0u);
+    ASSERT_EQ(c.missQueueSize(), 1u);
+    EXPECT_EQ(c.counters().readMisses, 1u);
+    EXPECT_EQ(c.counters().bypassedReads, 1u);
+
+    MemFetch *mf = c.missQueuePop();
+    EXPECT_TRUE(mf->l1Bypass);
+    EXPECT_EQ(mf->type, AccessType::GlobalRead);
+    EXPECT_EQ(mf->warpId, 3);
+    EXPECT_EQ(mf->slotId, 7);
+    EXPECT_EQ(mf->dataBytes, 32u);
+    EXPECT_EQ(mf->replyBytes(), packetHeaderBytes + 32u);
+    alloc.free(mf);
+    EXPECT_EQ(alloc.outstanding(), 0u);
+}
+
+TEST(CacheBypass, RepeatMissesNeverMergeOrFill)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l1Params();
+    p.bypassReads = true;
+    CacheModel c(p, &alloc, 0);
+    Cycle now = 0;
+
+    // The same line misses every time: no allocation means no hit,
+    // no merge, one packet per access.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(c.access(readAcc(line(4), 0, i), ++now, 0.0),
+                  CacheOutcome::MissIssued);
+    }
+    EXPECT_EQ(c.counters().readMisses, 3u);
+    EXPECT_EQ(c.counters().mshrMerges, 0u);
+    EXPECT_EQ(c.counters().readHits, 0u);
+    EXPECT_EQ(c.missQueueSize(), 3u);
+    while (!c.missQueueEmpty())
+        alloc.free(c.missQueuePop());
+}
+
+TEST(CacheBypass, StallsOnlyOnMissQueueBackPressure)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l1Params();
+    p.bypassReads = true;
+    p.missQueueEntries = 2;
+    CacheModel c(p, &alloc, 0);
+    Cycle now = 0;
+
+    EXPECT_EQ(c.access(readAcc(line(0)), ++now, 0.0),
+              CacheOutcome::MissIssued);
+    EXPECT_EQ(c.access(readAcc(line(1)), ++now, 0.0),
+              CacheOutcome::MissIssued);
+    EXPECT_EQ(c.access(readAcc(line(2)), ++now, 0.0),
+              CacheOutcome::StallMissQueueFull);
+    while (!c.missQueueEmpty())
+        alloc.free(c.missQueuePop());
+}
+
+TEST(CacheSectored, PartialReadMissFetchesDemandedSectors)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l1Params();
+    p.sectorBytes = 32;
+    CacheModel c(p, &alloc, 0);
+    Cycle now = 0;
+
+    CacheAccess acc = readAcc(line(0));
+    acc.dataBytes = 40; // rounds up to 2 sectors
+    EXPECT_EQ(c.access(acc, ++now, 0.0), CacheOutcome::MissIssued);
+    MemFetch *mf = c.missQueuePop();
+    EXPECT_EQ(mf->dataBytes, 64u);
+    EXPECT_EQ(mf->replyBytes(), packetHeaderBytes + 64u);
+    alloc.free(mf);
+
+    // Unspecified demand still fetches the full line.
+    EXPECT_EQ(c.access(readAcc(line(1)), ++now, 0.0),
+              CacheOutcome::MissIssued);
+    mf = c.missQueuePop();
+    EXPECT_EQ(mf->dataBytes, 128u);
+    alloc.free(mf);
+}
+
+TEST(CacheSectored, SectorAlignedWriteMissSkipsFetchOnWrite)
+{
+    MemFetchAllocator alloc;
+    CacheParams p = l2Params();
+    p.sectorBytes = 32;
+    CacheModel c(p, &alloc, -1);
+
+    // A 32-byte store covers one whole sector: no fetch-on-write,
+    // unlike the unsectored L2 (CacheL2.PartialWriteMissFetchesOnWrite).
+    MemFetch *w = alloc.alloc();
+    w->type = AccessType::GlobalWrite;
+    w->lineAddr = line(9);
+    w->storeBytes = 32;
+    CacheAccess acc = readAcc(line(9), 0, 0, w);
+    acc.write = true;
+    acc.storeBytes = 32;
+    EXPECT_EQ(c.access(acc, 1, 0.0), CacheOutcome::WriteAllocated);
+    EXPECT_TRUE(c.missQueueEmpty());
+    EXPECT_TRUE(c.lineValid(line(9)));
+    EXPECT_EQ(alloc.outstanding(), 0u);
+
+    // A store that straddles sectors still needs the fetch.
+    MemFetch *w2 = alloc.alloc();
+    w2->type = AccessType::GlobalWrite;
+    w2->lineAddr = line(10);
+    w2->storeBytes = 40;
+    CacheAccess acc2 = readAcc(line(10), 0, 0, w2);
+    acc2.write = true;
+    acc2.storeBytes = 40;
+    EXPECT_EQ(c.access(acc2, 2, 0.0), CacheOutcome::WriteAllocated);
+    ASSERT_EQ(c.missQueueSize(), 1u);
+    MemFetch *f = c.missQueuePop();
+    EXPECT_EQ(f->type, AccessType::GlobalRead);
+    std::vector<MshrWaiter> woken;
+    ASSERT_TRUE(c.fill(f, 3, 0.0, woken));
+    EXPECT_EQ(alloc.outstanding(), 0u);
+}
+
+TEST(CacheSectored, L2FillWidthFollowsAllocationNotDemand)
+{
+    // An unsectored L2 allocates whole lines: even a demand-sized
+    // bypass fetch pulls the full line from DRAM (fillBytes), while
+    // the reply to the core stays demand-sized (dataBytes). A
+    // sectored L2 fetches only the demanded sectors.
+    MemFetchAllocator alloc;
+    CacheModel unsectored(l2Params(), &alloc, -1);
+    MemFetch *r1 = alloc.alloc();
+    r1->lineAddr = line(3);
+    r1->coreId = 0;
+    r1->dataBytes = 32;
+    EXPECT_EQ(unsectored.access(readAcc(line(3), 0, 0, r1), 1, 0.0),
+              CacheOutcome::MissIssued);
+    MemFetch *f1 = unsectored.missQueuePop();
+    EXPECT_EQ(f1, r1);
+    EXPECT_EQ(f1->fillBytes, 128u);
+    EXPECT_EQ(f1->dataBytes, 32u);
+
+    CacheParams sp = l2Params();
+    sp.sectorBytes = 32;
+    CacheModel sectored(sp, &alloc, -1);
+    MemFetch *r2 = alloc.alloc();
+    r2->lineAddr = line(3);
+    r2->coreId = 0;
+    r2->dataBytes = 32;
+    EXPECT_EQ(sectored.access(readAcc(line(3), 0, 0, r2), 1, 0.0),
+              CacheOutcome::MissIssued);
+    MemFetch *f2 = sectored.missQueuePop();
+    EXPECT_EQ(f2->fillBytes, 32u);
+    EXPECT_EQ(f2->dataBytes, 32u);
+
+    std::vector<MshrWaiter> woken;
+    ASSERT_TRUE(unsectored.fill(f1, 2, 0.0, woken));
+    ASSERT_TRUE(sectored.fill(f2, 2, 0.0, woken));
+    alloc.free(unsectored.respQueuePop());
+    alloc.free(sectored.respQueuePop());
+    EXPECT_EQ(alloc.outstanding(), 0u);
+}

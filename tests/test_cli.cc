@@ -35,9 +35,9 @@ runCli(std::vector<const char *> args, std::string &out_s,
 TEST(Cli, RegistryCoversEveryLegacyBench)
 {
     const auto &reg = cli::experimentRegistry();
-    // 16 experiments: figs 1/3/4/5/7/8/9/10/11/12, tables I-III,
-    // secs IV/VII, and the ablation study.
-    EXPECT_EQ(reg.size(), 16u);
+    // 17 experiments: figs 1/3/4/5/7/8/9/10/11/12, tables I-III,
+    // secs IV/VI/VII, and the ablation study.
+    EXPECT_EQ(reg.size(), 17u);
     for (const auto &e : reg) {
         EXPECT_FALSE(e.name.empty());
         EXPECT_FALSE(e.legacy.empty());
@@ -364,3 +364,46 @@ TEST(Cli, UsageMentionsTheQueueFlags)
           "--cache-stats", "--cache-max-mb"})
         EXPECT_NE(out.find(flag), std::string::npos) << flag;
 }
+
+#ifdef __unix__
+TEST(Cli, ScratchCacheDirTemplateHonorsTmpdir)
+{
+    // Save and restore whatever the harness environment set.
+    const char *saved = std::getenv("TMPDIR");
+    const std::string saved_val = saved ? saved : "";
+
+    ::setenv("TMPDIR", "/some/scratch", 1);
+    EXPECT_EQ(cli::scratchCacheDirTemplate(),
+              "/some/scratch/bwsim-cache-XXXXXX");
+
+    // Trailing slashes must not double the separator.
+    ::setenv("TMPDIR", "/some/scratch///", 1);
+    EXPECT_EQ(cli::scratchCacheDirTemplate(),
+              "/some/scratch/bwsim-cache-XXXXXX");
+
+    // Unset or empty falls back to /tmp like mktemp(1).
+    ::unsetenv("TMPDIR");
+    EXPECT_EQ(cli::scratchCacheDirTemplate(), "/tmp/bwsim-cache-XXXXXX");
+    ::setenv("TMPDIR", "", 1);
+    EXPECT_EQ(cli::scratchCacheDirTemplate(), "/tmp/bwsim-cache-XXXXXX");
+
+    // The template actually works: mkdtemp() materializes the scratch
+    // dir inside the TMPDIR the user asked for.
+    const std::string base = "/tmp/bwsim-tmpdir-test";
+    std::filesystem::remove_all(base);
+    std::filesystem::create_directories(base);
+    ::setenv("TMPDIR", base.c_str(), 1);
+    std::string tmpl_str = cli::scratchCacheDirTemplate();
+    ASSERT_EQ(tmpl_str.rfind(base + "/bwsim-cache-", 0), 0u);
+    std::vector<char> tmpl(tmpl_str.begin(), tmpl_str.end());
+    tmpl.push_back('\0');
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    EXPECT_TRUE(std::filesystem::is_directory(tmpl.data()));
+    std::filesystem::remove_all(base);
+
+    if (saved)
+        ::setenv("TMPDIR", saved_val.c_str(), 1);
+    else
+        ::unsetenv("TMPDIR");
+}
+#endif // __unix__

@@ -72,6 +72,15 @@ sampleResult()
     r.dramWrites = 77;
     r.l1StallCycles = 88;
     r.l2StallCycles = 99;
+    r.l1IcntBytes = 111;
+    r.icntL2Bytes = 222;
+    r.l2DramBytes = 333;
+    r.l1IcntBpc = 25.5;
+    r.icntL2Bpc = 24.25;
+    r.l2DramBpc = 17.125;
+    r.l1IcntUtil = 0.5;
+    r.icntL2Util = 0.625;
+    r.l2DramUtil = 0.0625;
     return r;
 }
 
@@ -108,6 +117,15 @@ expectIdentical(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.dramWrites, b.dramWrites);
     EXPECT_EQ(a.l1StallCycles, b.l1StallCycles);
     EXPECT_EQ(a.l2StallCycles, b.l2StallCycles);
+    EXPECT_EQ(a.l1IcntBytes, b.l1IcntBytes);
+    EXPECT_EQ(a.icntL2Bytes, b.icntL2Bytes);
+    EXPECT_EQ(a.l2DramBytes, b.l2DramBytes);
+    EXPECT_EQ(a.l1IcntBpc, b.l1IcntBpc);
+    EXPECT_EQ(a.icntL2Bpc, b.icntL2Bpc);
+    EXPECT_EQ(a.l2DramBpc, b.l2DramBpc);
+    EXPECT_EQ(a.l1IcntUtil, b.l1IcntUtil);
+    EXPECT_EQ(a.icntL2Util, b.icntL2Util);
+    EXPECT_EQ(a.l2DramUtil, b.l2DramUtil);
 }
 
 std::string
@@ -390,6 +408,60 @@ TEST(CacheDir, EvictionDropsOldestEntriesFirst)
     EXPECT_EQ(rep.filesEvicted, 1u);
     EXPECT_EQ(rep.filesKept, 0u);
     EXPECT_EQ(scanCacheDir(dir).entries, 0u);
+}
+
+TEST(CacheDir, EvictionUnderEqualMtimesIsDeterministic)
+{
+    // On filesystems with coarse timestamps whole batches of entries
+    // share one mtime; the eviction order must then fall back to the
+    // path so --cache-max-mb keeps the same survivors on every run.
+    SimResult r = sampleResult();
+    const std::vector<std::string> keys{"1:a|\n2:k0|", "1:a|\n2:k1|",
+                                        "1:a|\n2:k2|", "1:a|\n2:k3|",
+                                        "1:a|\n2:k4|"};
+
+    auto run_once = [&](const std::string &dir,
+                        const std::vector<std::string> &store_order) {
+        DiskSimCache cache(dir);
+        for (const auto &k : store_order)
+            EXPECT_TRUE(cache.store(k, r));
+        // Collapse every mtime onto one instant, as a coarse
+        // filesystem would.
+        const auto stamp = fs::file_time_type::clock::now();
+        std::uint64_t entry_size = 0;
+        for (const auto &k : keys) {
+            fs::last_write_time(entryPathFor(cache, k), stamp);
+            entry_size = fs::file_size(entryPathFor(cache, k));
+        }
+        EvictionReport rep = evictCacheDir(dir, 2 * entry_size);
+        EXPECT_EQ(rep.filesEvicted, 3u);
+        EXPECT_EQ(rep.filesKept, 2u);
+        std::vector<std::string> survivors;
+        for (const auto &k : keys)
+            if (fs::exists(entryPathFor(cache, k)))
+                survivors.push_back(entryPathFor(cache, k)
+                                        .substr(dir.size()));
+        std::sort(survivors.begin(), survivors.end());
+        return survivors;
+    };
+
+    // Two directories, the entries stored in opposite orders: the
+    // survivor set must be identical (path order, not store order or
+    // directory-iteration luck).
+    auto fwd = run_once(freshDir("evict-ties-fwd"), keys);
+    std::vector<std::string> rev(keys.rbegin(), keys.rend());
+    auto bwd = run_once(freshDir("evict-ties-bwd"), rev);
+    ASSERT_EQ(fwd.size(), 2u);
+    EXPECT_EQ(fwd, bwd);
+
+    // And they are exactly the path-sort tail (ascending sort evicts
+    // the lexicographically smallest paths first).
+    std::vector<std::string> names;
+    for (const auto &k : keys)
+        names.push_back(DiskSimCache::fileNameFor(k));
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(fwd[0], "/" + names[3]);
+    EXPECT_EQ(fwd[1], "/" + names[4]);
 }
 
 TEST(CacheDir, StaleTempFilesAreCountedAndSwept)

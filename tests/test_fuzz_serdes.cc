@@ -88,6 +88,15 @@ randomResult(Rng &rng)
     r.dramWrites = rng.next();
     r.l1StallCycles = rng.next();
     r.l2StallCycles = rng.next();
+    r.l1IcntBytes = rng.next();
+    r.icntL2Bytes = rng.next();
+    r.l2DramBytes = rng.next();
+    r.l1IcntBpc = randomDouble(rng);
+    r.icntL2Bpc = randomDouble(rng);
+    r.l2DramBpc = randomDouble(rng);
+    r.l1IcntUtil = randomDouble(rng);
+    r.icntL2Util = randomDouble(rng);
+    r.l2DramUtil = randomDouble(rng);
     return r;
 }
 
@@ -191,6 +200,10 @@ randomConfig(Rng &rng)
     c.dramSchedQueue = static_cast<std::uint32_t>(rng.next());
     c.dramReturnQueue = static_cast<std::uint32_t>(rng.next());
     c.dramReturnPipeLatency = static_cast<std::uint32_t>(rng.next());
+    c.l1BypassReads = rng.chance(0.5);
+    c.sectorBytes = static_cast<std::uint32_t>(rng.next());
+    c.l2Interleave = rng.chance(0.5) ? L2Interleave::PartitionFirst
+                                     : L2Interleave::BankFirst;
     c.mode = static_cast<MemoryMode>(rng.below(4));
     c.fixedL1MissLatency = static_cast<std::uint32_t>(rng.next());
     c.perfectL2Latency = static_cast<std::uint32_t>(rng.next());

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/experiments.hh"
+#include "gpu/gpu.hh"
 
 #ifndef BWSIM_GOLDEN_DIR
 #error "CMake must define BWSIM_GOLDEN_DIR (tests/golden in the source tree)"
@@ -53,7 +54,11 @@ render(const exp::SeriesTable &t)
 std::string
 goldenPath(const std::string &name)
 {
-    return std::string(BWSIM_GOLDEN_DIR) + "/" + name + ".tsv";
+    // Bare names are TSV tables; a name carrying its own extension
+    // (the --dump-stats text snapshot) is used as-is.
+    const std::string ext =
+        name.find('.') == std::string::npos ? ".tsv" : "";
+    return std::string(BWSIM_GOLDEN_DIR) + "/" + name + ext;
 }
 
 /** Compare @p fresh against the checked-in snapshot -- or, under
@@ -130,4 +135,34 @@ TEST(Golden, Fig12CostEffective)
 {
     compareOrRegen("fig12",
                    render(exp::fig12CostEffective(goldenOptions())));
+}
+
+TEST(Golden, Sec6BandwidthUtilization)
+{
+    compareOrRegen("sec6bw",
+                   render(exp::sec6BandwidthUtilization(goldenOptions())));
+}
+
+TEST(Golden, Sec6MitigationSpeedups)
+{
+    compareOrRegen("sec6speedup",
+                   render(exp::sec6MitigationSpeedups(goldenOptions())));
+}
+
+TEST(Golden, DumpStatsBaseline)
+{
+    // The full stats tree for one tiny benchmark on the baseline
+    // config: pins every stat's name, grouping and value rendering
+    // across refactors (the ROADMAP's --dump-stats snapshot item),
+    // including the gpu.bw bandwidth formulas this PR adds.
+    exp::ExperimentOptions opts = goldenOptions();
+    opts.benchmarks = {"bfs"};
+    auto profiles = exp::selectBenchmarks(opts);
+    ASSERT_EQ(profiles.size(), 1u);
+    Gpu gpu(GpuConfig::baseline(), profiles[0]);
+    gpu.run();
+    std::ostringstream os;
+    os << "# stats: benchmark=" << profiles[0].name << " config=baseline\n";
+    gpu.dumpStats(os);
+    compareOrRegen("dump_stats.txt", os.str());
 }

@@ -106,6 +106,46 @@ TEST(AddressMap, ConsecutiveLinesInterleavePartitions)
     EXPECT_EQ(m.partitionOf(128 * 6), 0u);
 }
 
+TEST(AddressMap, BankFirstInterleaveWalksBanksDirectly)
+{
+    // The decoupled interleave: consecutive lines walk the 24 banks
+    // one by one, with the banks striding across the partitions --
+    // the bank count is no longer welded to the partition count, yet
+    // the DRAM partition interleave stays line-granular (decoupling
+    // the banks must not coarsen the channel striping).
+    AddressMap m(6, 4, 128, L2Interleave::BankFirst);
+    EXPECT_EQ(m.totalBanks(), 24u);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        Addr a = Addr(i) * 128;
+        EXPECT_EQ(m.bankOf(a), i % 24);
+        EXPECT_EQ(m.partitionOf(a), m.bankOf(a) % 6);
+        // Line-granular partition walk, exactly like the baseline.
+        EXPECT_EQ(m.partitionOf(a), i % 6);
+    }
+}
+
+TEST(AddressMap, InterleavesDisagreeOnBankAssignment)
+{
+    // Same geometry, different interleave: a dense stream lands on a
+    // different bank sequence (PartitionFirst walks partitions and
+    // only then local banks; BankFirst walks global banks).
+    AddressMap pf(6, 2, 128, L2Interleave::PartitionFirst);
+    AddressMap bf(6, 2, 128, L2Interleave::BankFirst);
+    bool differs = false;
+    for (std::uint64_t i = 0; i < 24 && !differs; ++i)
+        differs = pf.bankOf(Addr(i) * 128) != bf.bankOf(Addr(i) * 128);
+    EXPECT_TRUE(differs);
+    // Both interleaves keep the line-granular partition walk.
+    for (std::uint64_t i = 0; i < 24; ++i)
+        EXPECT_EQ(bf.partitionOf(Addr(i) * 128),
+                  pf.partitionOf(Addr(i) * 128));
+    // PartitionFirst: line 1 -> partition 1, bank 2.
+    EXPECT_EQ(pf.bankOf(128), 2u);
+    // BankFirst: line 1 -> bank 1 (inside partition 1: banks stride).
+    EXPECT_EQ(bf.bankOf(128), 1u);
+    EXPECT_EQ(bf.partitionOf(128), 1u);
+}
+
 /** Dense streams must spread near-uniformly over banks. */
 class AddressMapUniformity
     : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>

@@ -293,13 +293,64 @@ TEST(TextTable, TsvEmitsTabSeparatedGrid)
     EXPECT_EQ(os.str(), "benchmark\tipc\nmm\t1.25\nnn\t0.75\n");
 }
 
-TEST(TextTable, TsvSanitizesDelimitersInsideCells)
+TEST(TextTable, TsvEscapesDelimitersInsideCells)
 {
+    // Hostile cell content must neither corrupt the grid (extra
+    // tabs/rows) nor be silently lossy: the backslash escapes
+    // round-trip, symmetric with printCsv's quoting.
     TextTable t({"a", "b"});
     t.newRow().add("with\ttab").add("with\nnewline");
+    t.newRow().add("back\\slash").add("cr\rcell");
     std::ostringstream os;
     t.printTsv(os);
-    EXPECT_EQ(os.str(), "a\tb\nwith tab\twith newline\n");
+    EXPECT_EQ(os.str(), "a\tb\n"
+                        "with\\ttab\twith\\nnewline\n"
+                        "back\\\\slash\tcr\\rcell\n");
+}
+
+TEST(TextTable, TsvHostileCellsRoundTrip)
+{
+    const std::vector<std::string> cells{"tab\there", "line\nbreak",
+                                         "slash\\t", "cr\rlf\n\t"};
+    TextTable t({"c0", "c1", "c2", "c3"});
+    t.newRow();
+    for (const auto &c : cells)
+        t.add(c);
+    std::ostringstream os;
+    t.printTsv(os);
+
+    // Parse it back the way the golden suite / a script would: split
+    // lines, split tabs, unescape. Every row must have exactly 4
+    // cells and decode to the original bytes.
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(bool(std::getline(in, line))); // header
+    ASSERT_TRUE(bool(std::getline(in, line))); // data row
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream ls(line);
+    while (std::getline(ls, field, '\t'))
+        fields.push_back(field);
+    ASSERT_EQ(fields.size(), 4u);
+    auto unescape = [](const std::string &s) {
+        std::string out;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            if (s[i] != '\\' || i + 1 == s.size()) {
+                out += s[i];
+                continue;
+            }
+            switch (s[++i]) {
+              case 't': out += '\t'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case '\\': out += '\\'; break;
+              default: out += s[i]; break;
+            }
+        }
+        return out;
+    };
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(unescape(fields[i]), cells[i]) << "cell " << i;
 }
 
 TEST(TextTable, JsonEmitsOneObjectPerTable)
