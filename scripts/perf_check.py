@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a fresh `bwsim perf` report against the committed baseline.
+
+    python3 scripts/perf_check.py BENCH_fresh.json BENCH_fig10.json
+
+Fails (exit 1) if any profile's skip-scheduler simulation rate
+regressed by more than the threshold (default 30%), or if the latency
+probe no longer beats lockstep. CI machines are noisy and differ from
+the machine that produced the committed baseline, so the check can be
+demoted to a warning by setting BWSIM_PERF_SOFT=1 (exit 0 with the
+same report printed).
+
+Environment:
+    BWSIM_PERF_THRESHOLD  allowed fractional rate drop (default 0.30)
+    BWSIM_PERF_SOFT       "1" to report regressions without failing
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    return {p["name"]: p for p in report["profiles"]}, report
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh_profiles, fresh = load(sys.argv[1])
+    base_profiles, base = load(sys.argv[2])
+    threshold = float(os.environ.get("BWSIM_PERF_THRESHOLD", "0.30"))
+    soft = os.environ.get("BWSIM_PERF_SOFT", "") == "1"
+
+    print(f"baseline: commit {base.get('commit', '?')} "
+          f"on {base.get('host', {}).get('machine', '?')}")
+    print(f"fresh:    commit {fresh.get('commit', '?')} "
+          f"on {fresh.get('host', {}).get('machine', '?')}")
+
+    failures = []
+    for name, b in base_profiles.items():
+        f = fresh_profiles.get(name)
+        if f is None:
+            failures.append(f"{name}: missing from fresh report")
+            continue
+        b_rate = b["skip"]["cycles_per_sec"]
+        f_rate = f["skip"]["cycles_per_sec"]
+        ratio = f_rate / b_rate if b_rate else 0.0
+        marker = ""
+        if ratio < 1.0 - threshold:
+            marker = "  <-- REGRESSED"
+            failures.append(
+                f"{name}: {f_rate:.0f} vs baseline {b_rate:.0f} "
+                f"cycles/sec ({ratio:.2f}x, threshold {1 - threshold:.2f}x)")
+        print(f"  {name}: {f_rate:>12.0f} cycles/sec "
+              f"({ratio:.2f}x of baseline){marker}")
+
+    probe = fresh.get("summary", {}).get("latency_probe_speedup", 0.0)
+    print(f"  latency probe speedup: {probe:.2f}x (must stay > 1)")
+    if probe <= 1.0:
+        failures.append(
+            f"latency probe speedup {probe:.2f}x: cycle-skip scheduler "
+            "no longer beats lockstep")
+
+    if failures:
+        print("\nperf_check: regressions detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        if soft:
+            print("perf_check: BWSIM_PERF_SOFT=1, not failing the build",
+                  file=sys.stderr)
+            return 0
+        return 1
+    print("perf_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -248,6 +248,8 @@ class CacheModel
     }
     std::size_t respQueueSize() const { return respQ.size(); }
     std::size_t respQueueCapacity() const { return respQ.capacity(); }
+    /** Ready time of the head response (requires non-empty). */
+    Cycle respQueueFrontReady() const { return respQ.frontReady(); }
     MemFetch *respQueuePop() { return respQ.pop(); }
     /**@}*/
 

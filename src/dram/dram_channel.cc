@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/intmath.hh"
+#include "sim/clock.hh"
 #include "stats/stat.hh"
 
 namespace bwsim
@@ -275,6 +276,24 @@ DramChannel::tick(double now_ps)
     if (tryIssueActivate())
         return;
     tryIssuePrecharge();
+}
+
+std::uint64_t
+DramChannel::horizon() const
+{
+    if (!schedQ.empty())
+        return 0;
+    std::uint64_t h = kInfiniteHorizon;
+    auto event = [this, &h](Cycle ready) {
+        h = std::min(h, ready > cycle + 1
+                            ? static_cast<std::uint64_t>(ready - cycle - 1)
+                            : std::uint64_t(0));
+    };
+    if (!writeDrainPipe.empty())
+        event(writeDrainPipe.frontReady());
+    if (!readReturnPipe.empty())
+        event(readReturnPipe.frontReady());
+    return h;
 }
 
 MemFetch *

@@ -146,6 +146,28 @@ class DramChannel
     std::size_t schedQueueSize() const { return schedQ.size(); }
     std::size_t schedQueueCapacity() const { return cfg.schedQueueEntries; }
 
+    /**
+     * Quiescence horizon (cycle-skip scheduler): 0 while any request
+     * is queued (FR-FCFS attempts and pending-cycle accounting happen
+     * per tick), else the earliest write-drain or read-return
+     * retirement; landed returns wait on the L2 fill path, not on
+     * channel ticks.
+     */
+    std::uint64_t horizon() const;
+
+    /**
+     * Integrate @p n skipped command cycles. Only valid on a span the
+     * horizon declared dead: the scheduler queue is empty, so there
+     * are no pending-cycles and the occupancy sample is a no-op; bank
+     * and bus gates are absolute cycle stamps and need no adjustment.
+     */
+    void
+    skipCycles(std::uint64_t n)
+    {
+        cycle += n;
+        ctr.cycles += n;
+    }
+
     /** Sample scheduler-queue occupancy (the paper's Fig. 5 metric). */
     void
     sampleOccupancy(stats::OccupancyHist &hist) const

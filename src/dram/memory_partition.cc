@@ -1,5 +1,8 @@
 #include "dram/memory_partition.hh"
 
+#include <algorithm>
+
+#include "sim/clock.hh"
 #include "stats/stat.hh"
 
 namespace bwsim
@@ -149,6 +152,68 @@ MemoryPartition::tickL2(double now_ps)
 
         accessQHist.sample(accessQ[b].size(), accessQ[b].capacity());
     }
+}
+
+std::uint64_t
+MemoryPartition::l2Horizon() const
+{
+    std::uint64_t h = kInfiniteHorizon;
+    auto event = [this, &h](Cycle ready) {
+        h = std::min(h,
+                     ready > l2Cycle + 1
+                         ? static_cast<std::uint64_t>(ready - l2Cycle - 1)
+                         : std::uint64_t(0));
+    };
+    for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b) {
+        const CacheModel &bank = *banks[b];
+        // A queued miss and an ejected request both trigger a per-tick
+        // attempt; a pending DRAM return may be a fill retry every
+        // cycle. All conservative: a refused attempt is a no-op tick.
+        if (!bank.missQueueEmpty())
+            return 0;
+        if (icnt->request().ejectReady(globalBankId(b)))
+            return 0;
+        if (bank.respQueueSize() > 0)
+            event(bank.respQueueFrontReady());
+        if (!accessQ[b].empty())
+            event(accessQ[b].frontReady());
+        if (h == 0)
+            return 0;
+    }
+    if (cfg.idealDram) {
+        if (!idealPipe.empty())
+            event(idealPipe.frontReady());
+    } else if (channel->returnReady()) {
+        return 0;
+    }
+    return h;
+}
+
+void
+MemoryPartition::skipL2(std::uint64_t n)
+{
+    l2Cycle += n;
+    for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b)
+        accessQHist.sample(accessQ[b].size(), accessQ[b].capacity(), n);
+}
+
+std::uint64_t
+MemoryPartition::dramHorizon() const
+{
+    // The ideal pipe lives on the L2 clock; DRAM ticks are pure
+    // counter increments there. With a real channel the scheduler
+    // queue must also be empty for the occupancy sample to be a no-op.
+    if (cfg.idealDram)
+        return kInfiniteHorizon;
+    return channel->horizon();
+}
+
+void
+MemoryPartition::skipDram(std::uint64_t n)
+{
+    dramCycle += n;
+    if (!cfg.idealDram)
+        channel->skipCycles(n);
 }
 
 void

@@ -91,6 +91,27 @@ class MemoryPartition
     /** One DRAM command-clock cycle. */
     void tickDram(double now_ps);
 
+    /** @name Quiescence horizons (cycle-skip scheduler) */
+    /**@{*/
+    /**
+     * Earliest upcoming L2 cycle with observable work: 0 whenever a
+     * per-tick attempt is possible (miss-queue drain, DRAM fill retry,
+     * request-network pull), else the earliest ready time among the
+     * response queues, access queues and the ideal-DRAM pipe.
+     */
+    std::uint64_t l2Horizon() const;
+    /**
+     * Integrate @p n skipped L2 cycles: cycle counter plus the
+     * per-cycle access-queue occupancy samples, whose occupancy is
+     * frozen across a dead span (no pushes or pops can occur).
+     */
+    void skipL2(std::uint64_t n);
+    /** Channel horizon; infinite under the ideal-DRAM pipe. */
+    std::uint64_t dramHorizon() const;
+    /** Integrate @p n skipped DRAM command cycles. */
+    void skipDram(std::uint64_t n);
+    /**@}*/
+
     /** All queues, banks and the channel are empty. */
     bool drained() const;
 

@@ -1,8 +1,10 @@
 #include "gpu/gpu.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 
+#include "sim/sim_speed.hh"
 #include "workloads/trace_gen.hh"
 
 namespace bwsim
@@ -40,6 +42,29 @@ Gpu::Gpu(const GpuConfig &config, const BenchmarkProfile &profile)
     });
     coreDomain = clocks.addDomain("core", cfg.coreClockMhz,
                                   [this] { coreTick(); });
+
+    clocks.domain(dramDomain)
+        .setSkipHooks([this] { return memSys->dramHorizon(); },
+                      [this](std::uint64_t n) { memSys->dramSkip(n); });
+    clocks.domain(icntDomain)
+        .setSkipHooks([this] { return memSys->icntHorizon(); },
+                      [this](std::uint64_t n) { memSys->icntSkip(n); });
+    clocks.domain(coreDomain)
+        .setSkipHooks([this] { return coreQuiesceHorizon(); },
+                      [this](std::uint64_t n) { coreSkip(n); });
+
+    // Which horizons an executed tick can change, following the data
+    // flow between domains: a core tick touches the networks' injection
+    // side; an icnt tick can ready a core reply, fill its own queues
+    // and push to the DRAM scheduler; a DRAM tick can land a return
+    // for the L2 fill path. Notably a DRAM tick cannot wake a core
+    // (fills travel via the L2/reply network first) and a core tick
+    // cannot wake DRAM directly, which is what lets the core domain
+    // keep skipping across a long DRAM-busy span.
+    clocks.setAffects(coreDomain, {coreDomain, icntDomain});
+    clocks.setAffects(icntDomain,
+                      {coreDomain, icntDomain, dramDomain});
+    clocks.setAffects(dramDomain, {icntDomain, dramDomain});
 }
 
 Gpu::~Gpu() = default;
@@ -73,6 +98,36 @@ Gpu::coreTick()
     }
 }
 
+std::uint64_t
+Gpu::coreQuiesceHorizon()
+{
+    // Cheapest rejections first: a busy core (memoized inside SmCore)
+    // or a pending outgoing miss pins the horizon before the
+    // MemSystem's reply-readiness scan is consulted.
+    std::uint64_t h = kInfiniteHorizon;
+    for (int c = 0; c < cfg.numCores; ++c) {
+        std::uint64_t ch = cores[c]->quiesceHorizon();
+        if (ch == 0)
+            return 0;
+        h = std::min(h, ch);
+        if (cores[c]->hasOutgoing())
+            return 0;
+        std::uint64_t mh = memSys->coreHorizon(c, coreCycleCount);
+        if (mh == 0)
+            return 0;
+        h = std::min(h, mh);
+    }
+    return h;
+}
+
+void
+Gpu::coreSkip(std::uint64_t n)
+{
+    coreCycleCount += n;
+    for (int c = 0; c < cfg.numCores; ++c)
+        cores[c]->skipCycles(n);
+}
+
 bool
 Gpu::allWorkDone() const
 {
@@ -97,6 +152,12 @@ Gpu::runCycles(std::uint64_t core_cycles)
 SimResult
 Gpu::run()
 {
+    const bool skip = schedulerMode() == SchedulerMode::Skip;
+    const std::uint64_t cycles0 = coreCycleCount;
+    const std::uint64_t ticked0 = clocks.tickedEdges();
+    const std::uint64_t skipped0 = clocks.skippedEdges();
+    const auto wall0 = std::chrono::steady_clock::now();
+
     while (!allWorkDone()) {
         if (coreCycleCount >= cfg.maxCoreCycles) {
             resultTimedOut = true;
@@ -105,11 +166,26 @@ Gpu::run()
                  static_cast<unsigned long long>(cfg.maxCoreCycles));
             break;
         }
-        // Step in bursts to keep the done-check off the critical path.
-        std::uint64_t target = coreCycleCount + 64;
-        while (coreCycleCount < target)
-            clocks.step();
+        // Step in bursts to keep the done-check off the critical path,
+        // clamped so the safety cap is never overshot.
+        std::uint64_t target =
+            std::min(coreCycleCount + 64, cfg.maxCoreCycles);
+        if (skip) {
+            clocks.runUntil(coreDomain, target);
+        } else {
+            while (coreCycleCount < target)
+                clocks.step();
+        }
     }
+
+    const auto wall_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+    recordSimSpeed(coreCycleCount - cycles0,
+                   clocks.tickedEdges() - ticked0,
+                   clocks.skippedEdges() - skipped0,
+                   static_cast<std::uint64_t>(wall_ns));
     return harvest();
 }
 

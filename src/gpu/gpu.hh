@@ -83,6 +83,10 @@ class Gpu : public WorkSource
 
   private:
     void coreTick();
+    /** Core-domain quiescence horizon (min over cores + MemSystem). */
+    std::uint64_t coreQuiesceHorizon();
+    /** Integrate a skipped core-domain span into every core. */
+    void coreSkip(std::uint64_t n);
 
     GpuConfig cfg;
     BenchmarkProfile prof;

@@ -162,6 +162,28 @@ CrossbarNetwork::packetsInFlight() const
     return n;
 }
 
+std::uint64_t
+CrossbarNetwork::horizon() const
+{
+    for (const auto &q : injQ) {
+        if (!q.empty())
+            return 0;
+    }
+    // Granted packets live in their injection queue, so empty queues
+    // also mean no grants and no eject-blocked accounting: only
+    // in-transit deliveries can make a future tick observable.
+    std::uint64_t h = kInfiniteHorizon;
+    for (const auto &pipe : transit) {
+        if (pipe.empty())
+            continue;
+        Cycle ready = pipe.frontReady();
+        h = std::min(h, ready > cycle + 1
+                            ? static_cast<std::uint64_t>(ready - cycle - 1)
+                            : std::uint64_t(0));
+    }
+    return h;
+}
+
 std::size_t
 CrossbarNetwork::injQueueSize(std::uint32_t src) const
 {

@@ -25,12 +25,14 @@
 #ifndef BWSIM_ICNT_CROSSBAR_HH
 #define BWSIM_ICNT_CROSSBAR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/types.hh"
 #include "mem/mem_fetch.hh"
+#include "sim/clock.hh"
 #include "sim/queue.hh"
 #include "stats/occupancy_hist.hh"
 #include "stats/stat.hh"
@@ -109,6 +111,17 @@ class CrossbarNetwork
     /** Network cycles ticked (bytes/cycle denominators). */
     std::uint64_t cyclesTicked() const { return cycle; }
 
+    /**
+     * Quiescence horizon (cycle-skip scheduler): 0 while any injection
+     * queue holds a packet (arbitration, flit movement and
+     * eject-blocked accounting all happen per tick), else the earliest
+     * transit-pipe delivery; ejected packets wait on their owner, not
+     * on network ticks.
+     */
+    std::uint64_t horizon() const;
+    /** Integrate @p n skipped network cycles (cycle counter only). */
+    void skipCycles(std::uint64_t n) { cycle += n; }
+
     std::size_t injQueueSize(std::uint32_t src) const;
 
     /** Sample all injection-queue occupancies into @p hist. */
@@ -165,6 +178,21 @@ class Interconnect
     {
         reqNet.tick();
         replyNet.tick();
+    }
+
+    /** Combined quiescence horizon of both directions. */
+    std::uint64_t
+    horizon() const
+    {
+        return std::min(reqNet.horizon(), replyNet.horizon());
+    }
+
+    /** Integrate @p n skipped cycles into both directions. */
+    void
+    skipCycles(std::uint64_t n)
+    {
+        reqNet.skipCycles(n);
+        replyNet.skipCycles(n);
     }
 
     std::size_t

@@ -1,5 +1,7 @@
 #include "mem/mem_system.hh"
 
+#include <algorithm>
+
 namespace bwsim
 {
 
@@ -177,6 +179,57 @@ NormalMemSystem::dramTick(double now_ps)
         p->tickDram(now_ps);
 }
 
+std::uint64_t
+NormalMemSystem::coreHorizon(int core_id, std::uint64_t) const
+{
+    // The only core-tick action here is popping one ready reply;
+    // replies only become ready at icnt ticks, which invalidate this.
+    return icnt->reply().ejectReady(static_cast<std::uint32_t>(core_id))
+               ? 0
+               : kInfiniteHorizon;
+}
+
+std::uint64_t
+NormalMemSystem::icntHorizon() const
+{
+    std::uint64_t h = icnt->horizon();
+    for (const auto &p : parts) {
+        if (h == 0)
+            return 0;
+        h = std::min(h, p->l2Horizon());
+    }
+    return h;
+}
+
+void
+NormalMemSystem::icntSkip(std::uint64_t n)
+{
+    icntCycles += n;
+    icnt->skipCycles(n);
+    for (auto &p : parts)
+        p->skipL2(n);
+}
+
+std::uint64_t
+NormalMemSystem::dramHorizon() const
+{
+    std::uint64_t h = kInfiniteHorizon;
+    for (const auto &p : parts) {
+        h = std::min(h, p->dramHorizon());
+        if (h == 0)
+            return 0;
+    }
+    return h;
+}
+
+void
+NormalMemSystem::dramSkip(std::uint64_t n)
+{
+    dramCycles += n;
+    for (auto &p : parts)
+        p->skipDram(n);
+}
+
 bool
 NormalMemSystem::drained() const
 {
@@ -264,6 +317,27 @@ IdealMemSystem::service(int core_id, SmCore &core, double now_ps,
             core.deliverResponse(mf, now_ps);
         }
     }
+}
+
+std::uint64_t
+IdealMemSystem::coreHorizon(int core_id, std::uint64_t core_cycle) const
+{
+    // New outgoing misses pin the Gpu-side horizon at 0 (hasOutgoing),
+    // so only pipe maturities matter here. Pipes are keyed on the
+    // pre-incremented core cycle: an entry ready at X is delivered on
+    // the tick that makes the counter X.
+    std::uint64_t h = kInfiniteHorizon;
+    for (const auto *pipe :
+         {&pipesFast[core_id], &pipesSlow[core_id]}) {
+        if (pipe->empty())
+            continue;
+        Cycle ready = pipe->frontReady();
+        h = std::min(h, ready > core_cycle + 1
+                            ? static_cast<std::uint64_t>(ready -
+                                                         core_cycle - 1)
+                            : std::uint64_t(0));
+    }
+    return h;
 }
 
 bool

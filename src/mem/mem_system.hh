@@ -34,6 +34,7 @@
 #include "icnt/crossbar.hh"
 #include "mem/addr_map.hh"
 #include "mem/mem_fetch.hh"
+#include "sim/clock.hh"
 #include "sim/queue.hh"
 #include "smcore/sm_core.hh"
 
@@ -72,6 +73,32 @@ class MemSystem
     /** No request or response is buffered anywhere below the cores. */
     virtual bool drained() const = 0;
 
+    /**
+     * @name Quiescence horizons (cycle-skip scheduler)
+     *
+     * How many upcoming ticks of each clock domain are guaranteed
+     * no-ops given current state. The defaults are maximally
+     * conservative (never skip), so an implementation that does not
+     * opt in stays correct under the skip scheduler. Skip callbacks
+     * integrate a dead span into per-cycle counters; they are only
+     * invoked on spans the matching horizon declared dead.
+     */
+    /**@{*/
+    /** Edges until this system could next act on @p core_id's tick
+     *  (deliver a response or mature an ideal-pipe entry). */
+    virtual std::uint64_t
+    coreHorizon(int core_id, std::uint64_t core_cycle) const
+    {
+        (void)core_id;
+        (void)core_cycle;
+        return 0;
+    }
+    virtual std::uint64_t icntHorizon() const { return 0; }
+    virtual std::uint64_t dramHorizon() const { return 0; }
+    virtual void icntSkip(std::uint64_t n) { (void)n; }
+    virtual void dramSkip(std::uint64_t n) { (void)n; }
+    /**@}*/
+
     /** @name Introspection (null when the level is not modelled) */
     /**@{*/
     virtual Interconnect *interconnect() { return nullptr; }
@@ -100,6 +127,13 @@ class NormalMemSystem : public MemSystem
     void icntTick(double now_ps) override;
     void dramTick(double now_ps) override;
     bool drained() const override;
+
+    std::uint64_t coreHorizon(int core_id,
+                              std::uint64_t core_cycle) const override;
+    std::uint64_t icntHorizon() const override;
+    std::uint64_t dramHorizon() const override;
+    void icntSkip(std::uint64_t n) override;
+    void dramSkip(std::uint64_t n) override;
 
     Interconnect *interconnect() override { return icnt.get(); }
     MemoryPartition *
@@ -142,6 +176,14 @@ class IdealMemSystem : public MemSystem
     void icntTick(double) override {}
     void dramTick(double) override {}
     bool drained() const override;
+
+    /** Icnt/DRAM ticks are empty here: every edge is skippable. */
+    std::uint64_t coreHorizon(int core_id,
+                              std::uint64_t core_cycle) const override;
+    std::uint64_t icntHorizon() const override { return kInfiniteHorizon; }
+    std::uint64_t dramHorizon() const override { return kInfiniteHorizon; }
+    void icntSkip(std::uint64_t) override {}
+    void dramSkip(std::uint64_t) override {}
 
   private:
     /** Drain the core's misses and deliver matured responses. */

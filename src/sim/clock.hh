@@ -9,6 +9,20 @@
  * Registration order therefore fixes the intra-instant ordering; bwsim
  * registers drains before producers (DRAM, then L2/crossbar, then
  * cores) so requests never teleport through two levels in one instant.
+ *
+ * Cycle-skip scheduling: a domain may additionally install a horizon
+ * hook reporting how many of its upcoming edges are guaranteed to be
+ * observable no-ops ("quiescence horizon"), plus a skip hook that
+ * integrates a span of skipped edges into per-cycle counters
+ * (occupancy samples, cycle totals) in one shot. runUntil() then
+ * replays the exact lockstep sequence of edge instants but elides the
+ * component callbacks on edges every due domain declares dead. Because
+ * each skipped edge still advances the domain's next-edge time by one
+ * period (the same repeated floating-point addition lockstep performs)
+ * and the due-set grouping math is unchanged, a skip-scheduled run
+ * visits the identical instants and produces bit-identical state; the
+ * horizon contract only has to err early (execute a harmless no-op
+ * edge), never late.
  */
 
 #ifndef BWSIM_SIM_CLOCK_HH
@@ -23,10 +37,30 @@
 namespace bwsim
 {
 
+/** Horizon sentinel: idle until external work arrives. */
+constexpr std::uint64_t kInfiniteHorizon = ~std::uint64_t(0);
+
 /** One clock domain: a frequency, a cycle counter and a tick callback. */
 class ClockDomain
 {
   public:
+    /**
+     * Returns how many upcoming edges of this domain are guaranteed
+     * no-ops given current component state: 0 means the very next edge
+     * must execute, kInfiniteHorizon means nothing happens until some
+     * other domain's execution changes the component's inputs. Only
+     * called when the domain has no unreported skipped edges, so the
+     * component's own counters are up to date.
+     */
+    using HorizonFn = std::function<std::uint64_t()>;
+    /**
+     * Integrate @p n skipped edges into the component's per-cycle
+     * counters (cycle totals, frozen occupancy samples, frozen stall
+     * attribution). Must leave all observable state exactly as @p n
+     * individual no-op ticks would have.
+     */
+    using SkipFn = std::function<void(std::uint64_t)>;
+
     ClockDomain(std::string name, double freq_mhz,
                 std::function<void()> tick_fn);
 
@@ -45,6 +79,25 @@ class ClockDomain
     /** Change frequency mid-run (used by frequency-sweep experiments). */
     void setFreqMhz(double freq_mhz);
 
+    /** @name Cycle-skip scheduling (see file comment) */
+    /**@{*/
+    /** Install the skip hooks; a domain without them never skips. */
+    void setSkipHooks(HorizonFn horizon_fn, SkipFn skip_fn);
+    bool skippable() const { return static_cast<bool>(horizonFn); }
+    /** Cached quiescence horizon, recomputed when invalidated. */
+    std::uint64_t horizon();
+    /** Component inputs may have changed: recompute before next use. */
+    void invalidateHorizon() { horizonValid = false; }
+    /**
+     * Advance one edge without the callback. The edge is accumulated
+     * and reported to the SkipFn at the next flushSkips(); next-edge
+     * time advances by exactly one period, as tick() would.
+     */
+    void skipEdge();
+    /** Report accumulated skipped edges to the component, if any. */
+    void flushSkips();
+    /**@}*/
+
   private:
     std::string domainName;
     double freq;
@@ -52,6 +105,12 @@ class ClockDomain
     double next = 0.0;
     Cycle cycles = 0;
     std::function<void()> fn;
+
+    HorizonFn horizonFn;
+    SkipFn skipFn;
+    std::uint64_t cachedHorizon = 0;
+    bool horizonValid = false;
+    std::uint64_t pendingSkips = 0;
 };
 
 /**
@@ -78,9 +137,33 @@ class MultiClock
     /** Advance to the next edge instant, ticking all due domains. */
     void step();
 
+    /**
+     * Declare which domains' horizons executing @p src can invalidate
+     * (data-flow reachability; include @p src itself). Unset = all.
+     */
+    void setAffects(std::size_t src, std::vector<std::size_t> dsts);
+
+    /**
+     * Advance until domain @p driver_idx has completed @p target
+     * cycles, skipping edge instants where every due domain reports a
+     * positive horizon. The driver's target-reaching edge always
+     * executes, so nowPs() matches a lockstep run; all accumulated
+     * skips are flushed before returning.
+     */
+    void runUntil(std::size_t driver_idx, Cycle target);
+
+    /** @name Edge accounting (lockstep step() counts as ticked) */
+    /**@{*/
+    std::uint64_t tickedEdges() const { return ticked; }
+    std::uint64_t skippedEdges() const { return skipped; }
+    /**@}*/
+
   private:
     std::vector<ClockDomain> domains;
+    std::vector<std::vector<std::size_t>> affects;
     double now = 0.0;
+    std::uint64_t ticked = 0;
+    std::uint64_t skipped = 0;
 };
 
 } // namespace bwsim

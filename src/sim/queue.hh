@@ -158,6 +158,8 @@ class DelayPipe
     }
 
     T &front() { return q.front().first; }
+    /** Ready time of the head entry (requires non-empty). */
+    Cycle frontReady() const { return q.front().second; }
 
     T
     pop()

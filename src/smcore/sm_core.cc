@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/intmath.hh"
+#include "sim/clock.hh"
 #include "stats/stat.hh"
 
 namespace bwsim
@@ -617,6 +618,147 @@ SmCore::tick(double now_ps)
 
     if (!finishedLatched && done())
         finishedLatched = true;
+    qhValid = false;
+}
+
+std::uint64_t
+SmCore::quiesceHorizon()
+{
+    // The dry-run below is hot under the cycle-skip scheduler: every
+    // executed crossbar edge re-queries the core domain's horizon. The
+    // result only depends on core-internal state, so it stays valid
+    // until the next tick()/deliverResponse() and just shrinks as
+    // cycles are skipped (events sit at absolute cycle stamps).
+    if (qhValid)
+        return qhCache;
+    qhCache = computeQuiesceHorizon();
+    qhValid = true;
+    return qhCache;
+}
+
+std::uint64_t
+SmCore::computeQuiesceHorizon()
+{
+    // Any stage that could act on the very next tick pins the horizon
+    // at 0: dispatch, a retire scan, a fetch attempt (the I-cache
+    // counts even stalled attempts), a buffered LSU access (ditto for
+    // the L1D), or the finish latch.
+    if (source && activeCtas < cfg.maxCtasResident && source->hasWork())
+        return 0;
+    if (retireDirty || fetchEligible != 0 || lsuOccupied > 0)
+        return 0;
+    if (!finishedLatched && done())
+        return 0;
+
+    // Dry-run the issue scan on the compact head mirrors. If any
+    // decoded warp can issue, the tick must run. Otherwise the scan
+    // reproduces exactly the saw-flags a zero-issue issueStage() would
+    // set from this (frozen) state, feeding the stall classification.
+    bool saw_struct_mem = false, saw_struct_alu = false;
+    bool saw_data_mem = false, saw_data_alu = false;
+    if (decodedWarps > 0) {
+        for (int w = 0; w < int(warps.size()); ++w) {
+            if (!(wflags[w] & WfInUse) || ibufCnt[w] == 0)
+                continue;
+            PendingKind blocked;
+            if (!scoreboard.canIssueRegs(w, headSrc[w], headDest[w],
+                                         blocked)) {
+                if (blocked == PendingKind::Mem)
+                    saw_data_mem = true;
+                else
+                    saw_data_alu = true;
+                continue;
+            }
+            Op op = static_cast<Op>(headOp[w]);
+            if (op == Op::Load || op == Op::Store) {
+                if (lsuHasFreeSlot())
+                    return 0;
+                saw_struct_mem = true;
+            } else if (op == Op::Sfu) {
+                // aluIssuedThisCycle resets to 0 at issueStage entry,
+                // so only the inflight caps gate a would-be issue.
+                if (sfuInflight < cfg.sfuInflightCap &&
+                    cfg.aluIssuePerCycle > 0) {
+                    return 0;
+                }
+                saw_struct_alu = true;
+            } else {
+                if (aluInflight < cfg.aluInflightCap &&
+                    cfg.aluIssuePerCycle > 0) {
+                    return 0;
+                }
+                saw_struct_alu = true;
+            }
+        }
+    }
+
+    // Freeze the stall cause for the span, mirroring
+    // classifyStallCycle() on the state every skipped cycle will see.
+    IssueStall cause;
+    if (decodedWarps > 0) {
+        if (saw_struct_mem)
+            cause = IssueStall::StrMem;
+        else if (saw_struct_alu)
+            cause = IssueStall::StrAlu;
+        else if (saw_data_mem)
+            cause = IssueStall::DataMem;
+        else if (saw_data_alu)
+            cause = IssueStall::DataAlu;
+        else
+            cause = IssueStall::Fetch;
+    } else {
+        bool any_unfetched = false;
+        bool any_mem_pending = false;
+        for (int w = 0; w < int(warps.size()); ++w) {
+            std::uint8_t f = wflags[w];
+            if (!(f & WfInUse))
+                continue;
+            if (!(f & WfCursorDone) || (f & WfWaitingIFetch))
+                any_unfetched = true;
+            if (warps[w].pendingLsuSlots > 0)
+                any_mem_pending = true;
+        }
+        if (any_unfetched)
+            cause = IssueStall::Fetch;
+        else if (any_mem_pending)
+            cause = IssueStall::DataMem;
+        else
+            cause = IssueStall::DataAlu;
+    }
+    skipStallCause = cause;
+
+    // Earliest pipe completion, relative to the pre-incremented cycle
+    // counter (an event at cycle value X fires on the tick that makes
+    // the counter X).
+    std::uint64_t h = kInfiniteHorizon;
+    auto event = [this, &h](Cycle ready) {
+        h = std::min(h,
+                     ready > cycle + 1
+                         ? static_cast<std::uint64_t>(ready - cycle - 1)
+                         : std::uint64_t(0));
+    };
+    if (!aluPipe.empty())
+        event(aluPipe.frontReady());
+    if (!sfuPipe.empty())
+        event(sfuPipe.frontReady());
+    if (!hitPipe.empty())
+        event(hitPipe.frontReady());
+    return h;
+}
+
+void
+SmCore::skipCycles(std::uint64_t n)
+{
+    cycle += n;
+    ctr.cycles += n;
+    if (!finishedLatched)
+        ctr.activeCycles += n;
+    // No issue is possible on a dead span, so every cycle classifies
+    // as the frozen stall cause (or as idle with no warps resident).
+    if (liveWarps > 0)
+        ctr.issueStalls[static_cast<unsigned>(skipStallCause)] += n;
+    if (qhValid && qhCache != kInfiniteHorizon)
+        qhCache = qhCache > n ? qhCache - n : 0;
 }
 
 bool
@@ -666,6 +808,7 @@ SmCore::popOutgoing()
 void
 SmCore::deliverResponse(MemFetch *mf, double now_ps)
 {
+    qhValid = false;
     mf->tReplyBack = now_ps;
     ctr.replyBytesIn += mf->replyBytes();
     if (mf->type == AccessType::GlobalRead) {

@@ -156,6 +156,24 @@ class SmCore
     /** One core clock cycle. */
     void tick(double now_ps);
 
+    /**
+     * Quiescence horizon (cycle-skip scheduler): how many upcoming
+     * ticks are guaranteed no-ops. 0 whenever any stage could act next
+     * cycle -- CTA dispatch, retirement, a fetch attempt, a buffered
+     * LSU access, an issuable decoded instruction, or the finish
+     * latch -- else the earliest ALU/SFU/L1-hit pipe completion.
+     * Also precomputes the (frozen) per-cycle stall classification the
+     * skipped span will be attributed to by skipCycles().
+     */
+    std::uint64_t quiesceHorizon();
+
+    /**
+     * Integrate @p n skipped cycles: cycle/active-cycle counters plus
+     * the frozen issue-stall attribution quiesceHorizon() stashed.
+     * Valid only on a span the horizon declared dead.
+     */
+    void skipCycles(std::uint64_t n);
+
     /** All CTAs issued to this core have retired and pipes are empty. */
     bool done() const;
 
@@ -238,6 +256,7 @@ class SmCore
                        std::uint32_t n_accesses);
     void rebuildSchedLists();
     void popIbufHead(int warp);
+    std::uint64_t computeQuiesceHorizon();
 
     CoreParams cfg;
     MemFetchAllocator *alloc;
@@ -296,6 +315,12 @@ class SmCore
     int aluIssuedThisCycle = 0;
 
     bool finishedLatched = false;
+    /** Stall cause a skipped span integrates (see quiesceHorizon). */
+    IssueStall skipStallCause = IssueStall::Fetch;
+    /** Memoized quiesceHorizon(): valid until the core's own state
+     *  changes (tick / response delivery); shrinks across skips. */
+    std::uint64_t qhCache = 0;
+    bool qhValid = false;
     CoreCounters ctr;
 };
 

@@ -50,12 +50,25 @@ class OccupancyHist
     void
     sample(std::size_t occupancy, std::size_t capacity)
     {
+        sample(occupancy, capacity, 1);
+    }
+
+    /**
+     * Record @p cycles consecutive cycles at a frozen @p occupancy
+     * (the cycle-skip scheduler's span integration: occupancy cannot
+     * change while every edge in the span is a no-op).
+     */
+    void
+    sample(std::size_t occupancy, std::size_t capacity,
+           std::uint64_t cycles)
+    {
         bwsim_assert(occupancy <= capacity, "occupancy %zu > capacity %zu",
                      occupancy, capacity);
         if (occupancy == 0 || capacity == 0)
             return;
-        ++counts[static_cast<unsigned>(classify(occupancy, capacity))];
-        ++lifetime;
+        counts[static_cast<unsigned>(classify(occupancy, capacity))] +=
+            cycles;
+        lifetime += cycles;
     }
 
     /** Map an occupancy to its band. Requires 0 < occ <= cap. */

@@ -318,6 +318,23 @@ makeTestProfile(const std::string &name)
         p.pHot = p.pTile = p.pShared = p.pRandom = 0.0; // all stream
         p.minAccessesPerInst = 4;
         p.maxAccessesPerInst = 4;
+    } else if (name == "tiny-latency") {
+        // Latency-bound probe for the perf harness: a single CTA with
+        // one warp issuing a chain of dependent random misses
+        // (ilpDistance=1, pRandom=1 over a DRAM-sized region), so the
+        // whole machine quiesces for the ~hundreds-of-cycles round
+        // trip of every load. The cycle-skip scheduler shines here;
+        // lockstep crawls through the dead cycles one edge at a time.
+        p.numCtas = 1;
+        p.warpsPerCta = 1;
+        p.maxCtasPerCore = 1;
+        p.instsPerWarp = 1500;
+        p.memFraction = 0.9;
+        p.storeFraction = 0.0;
+        p.ilpDistance = 1;
+        p.pHot = p.pTile = p.pShared = 0.0;
+        p.pRandom = 1.0;
+        p.randomBytes = 64 * kMB;
     } else if (name == "tiny-mixed") {
         p.memFraction = 0.35;
         p.storeFraction = 0.2;
