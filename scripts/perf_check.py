@@ -16,6 +16,7 @@ Environment:
 """
 
 import json
+import math
 import os
 import sys
 
@@ -24,6 +25,17 @@ def load(path):
     with open(path, encoding="utf-8") as fh:
         report = json.load(fh)
     return {p["name"]: p for p in report["profiles"]}, report
+
+
+def usable_rate(rate):
+    """A rate is comparable only if it is a finite positive number.
+
+    Zero or absent rates mark degenerate timings (bwsim reports 0 for
+    sub-microsecond wall times); inf/NaN can only come from a corrupt
+    or hand-edited report. Neither is a regression signal.
+    """
+    return (isinstance(rate, (int, float)) and math.isfinite(rate)
+            and rate > 0.0)
 
 
 def main():
@@ -46,9 +58,13 @@ def main():
         if f is None:
             failures.append(f"{name}: missing from fresh report")
             continue
-        b_rate = b["skip"]["cycles_per_sec"]
-        f_rate = f["skip"]["cycles_per_sec"]
-        ratio = f_rate / b_rate if b_rate else 0.0
+        b_rate = b.get("skip", {}).get("cycles_per_sec")
+        f_rate = f.get("skip", {}).get("cycles_per_sec")
+        if not usable_rate(b_rate) or not usable_rate(f_rate):
+            print(f"  {name}: skipped (degenerate rate: "
+                  f"fresh {f_rate!r}, baseline {b_rate!r})")
+            continue
+        ratio = f_rate / b_rate
         marker = ""
         if ratio < 1.0 - threshold:
             marker = "  <-- REGRESSED"
@@ -59,11 +75,14 @@ def main():
               f"({ratio:.2f}x of baseline){marker}")
 
     probe = fresh.get("summary", {}).get("latency_probe_speedup", 0.0)
-    print(f"  latency probe speedup: {probe:.2f}x (must stay > 1)")
-    if probe <= 1.0:
-        failures.append(
-            f"latency probe speedup {probe:.2f}x: cycle-skip scheduler "
-            "no longer beats lockstep")
+    if not usable_rate(probe):
+        print(f"  latency probe speedup skipped (degenerate: {probe!r})")
+    else:
+        print(f"  latency probe speedup: {probe:.2f}x (must stay > 1)")
+        if probe <= 1.0:
+            failures.append(
+                f"latency probe speedup {probe:.2f}x: cycle-skip "
+                "scheduler no longer beats lockstep")
 
     if failures:
         print("\nperf_check: regressions detected:", file=sys.stderr)

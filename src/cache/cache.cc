@@ -232,6 +232,8 @@ CacheModel::access(const CacheAccess &acc, Cycle now, double now_ps)
     if (isStallOutcome(out)) {
         --ctr.accesses; // retried accesses are counted once, on success
         countStall(stallCauseOf(out));
+    } else {
+        ++ver;
     }
     return out;
 }
@@ -454,6 +456,7 @@ CacheModel::fill(MemFetch *mf, Cycle now, double now_ps,
     bool dirty = mshr.isDirtyOnFill(line);
     tags.fill(line, now, dirty);
     ++ctr.fills;
+    ++ver;
 
     // Fills seize the port even if busy (they arrive from DRAM and the
     // paper lists "an ongoing cache line fill" as a port-contention

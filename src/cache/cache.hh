@@ -237,8 +237,20 @@ class CacheModel
     bool missQueueEmpty() const { return missQ.empty(); }
     std::size_t missQueueSize() const { return missQ.size(); }
     MemFetch *missQueueFront() { return missQ.front(); }
-    MemFetch *missQueuePop() { return missQ.pop(); }
+    MemFetch *missQueuePop() { ++ver; return missQ.pop(); }
     /**@}*/
+
+    /**
+     * Monotonic state version: bumped by every mutation that can
+     * change a future access()/fill() outcome (accepted accesses,
+     * applied fills, queue pops). A *stalled* access leaves the
+     * version untouched, so owners retrying a blocked access may
+     * memoize (version, access) -> stall cause and replay
+     * countStall() without re-probing -- except for StallPortBusy,
+     * which depends on the current cycle and must always be retried
+     * for real.
+     */
+    std::uint64_t version() const { return ver; }
 
     /** @name Response queue (L2 owner injects into the reply network) */
     /**@{*/
@@ -250,7 +262,7 @@ class CacheModel
     std::size_t respQueueCapacity() const { return respQ.capacity(); }
     /** Ready time of the head response (requires non-empty). */
     Cycle respQueueFrontReady() const { return respQ.frontReady(); }
-    MemFetch *respQueuePop() { return respQ.pop(); }
+    MemFetch *respQueuePop() { ++ver; return respQ.pop(); }
     /**@}*/
 
     /** Account one stalled cycle against @p cause (owner-observed). */
@@ -303,6 +315,7 @@ class CacheModel
     TimedQueue<MemFetch *> respQ;
     Cycle portFreeAt = 0;
     std::uint32_t portCyclesPerLine;
+    std::uint64_t ver = 0;
 
     CacheCounters ctr;
 };

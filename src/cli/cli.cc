@@ -16,6 +16,7 @@
 #include "core/work_queue.hh"
 #include "gpu/gpu.hh"
 #include "sim/sim_speed.hh"
+#include "sim/tick_profile.hh"
 #include "stats/table.hh"
 
 #ifdef __unix__
@@ -397,6 +398,12 @@ printUsage(std::ostream &os)
           "                    simulation-speed report (core-cycles,\n"
           "                    wall seconds, cycles/sec, ticked vs\n"
           "                    skipped clock edges) to stderr\n"
+          "  --profile-ticks   time every executed clock-domain tick:\n"
+          "                    per-domain cost histograms appear as a\n"
+          "                    'tick_profile' group in --dump-stats\n"
+          "                    trees and totals in the --exec-stats\n"
+          "                    epilogue (also BWSIM_PROFILE_TICKS=1);\n"
+          "                    simulated results are unchanged\n"
           "  --scheduler=M     clock scheduler: skip (default;\n"
           "                    cycle-skipping event scheduler) or\n"
           "                    lockstep (tick every edge); results\n"
@@ -488,6 +495,49 @@ runDumpStats(const exp::ExperimentOptions &opts,
         gpu.dumpStats(out);
     }
     return 0;
+}
+
+/**
+ * The --exec-stats epilogue: cache/backend counters, the
+ * simulation-speed report and (when --profile-ticks is on) the
+ * per-domain tick-cost totals. One helper so every exit path that
+ * simulated something -- experiment tables and --dump-stats alike --
+ * prints the same report.
+ */
+void
+printExecStats(std::ostream &err)
+{
+    const SimCache &cache = SimCache::global();
+    err << csprintf(
+        "bwsim: exec stats: sims=%llu mem-hits=%llu disk-hits=%llu "
+        "disk-stores=%llu skipped=%llu backend=%s\n",
+        static_cast<unsigned long long>(cache.simsRun()),
+        static_cast<unsigned long long>(cache.hits()),
+        static_cast<unsigned long long>(cache.diskHits()),
+        static_cast<unsigned long long>(cache.diskStores()),
+        static_cast<unsigned long long>(cache.skipped()),
+        exp::executionBackend().name().c_str());
+    const SimSpeedTotals speed = simSpeedTotals();
+    err << csprintf(
+        "bwsim: sim speed: scheduler=%s runs=%llu "
+        "core-cycles=%llu wall=%.3fs cycles/sec=%.4g "
+        "ticked-edges=%llu skipped-edges=%llu\n",
+        schedulerModeName(schedulerMode()),
+        static_cast<unsigned long long>(speed.runs),
+        static_cast<unsigned long long>(speed.coreCycles),
+        double(speed.wallNanos) / 1e9, speed.cyclesPerSec(),
+        static_cast<unsigned long long>(speed.tickedEdges),
+        static_cast<unsigned long long>(speed.skippedEdges));
+    if (tickProfileEnabled()) {
+        for (const auto &d : tickProfileTotals()) {
+            err << csprintf(
+                "bwsim: tick profile: domain=%s ticks=%llu "
+                "wall=%.3fs avg-ns-per-tick=%.1f\n",
+                d.domain.c_str(),
+                static_cast<unsigned long long>(d.ticks),
+                double(d.nanos) / 1e9, d.avgNanos());
+        }
+    }
 }
 
 /** The --worker process mode: drain --spool-dir until stopped. */
@@ -692,11 +742,22 @@ runPerf(const std::string &out_path, std::ostream &out, std::ostream &err)
     f << "  \"reps\": " << kReps << ",\n";
     f << "  \"shrink\": " << kShrink << ",\n";
     f << "  \"profiles\": [\n";
+    // Below this wall time a cycles/sec quotient is clock-resolution
+    // noise (or a division by ~zero); report rate 0 instead so
+    // downstream comparisons (scripts/perf_check.py) skip the row
+    // rather than ingest an absurd or non-finite rate.
+    constexpr double kMinWallSec = 1e-6;
     for (std::size_t i = 0; i < cases.size(); ++i) {
         const PerfCase &pc = cases[i];
-        auto rate = [&pc](double sec) {
-            return sec > 0.0 ? static_cast<double>(pc.coreCycles) / sec
-                             : 0.0;
+        auto rate = [&pc, &err, kMinWallSec](double sec) {
+            if (sec < kMinWallSec) {
+                err << csprintf(
+                    "bwsim: perf: warning: '%s' finished in %.2e s "
+                    "(below the %.0e s floor); reporting rate 0\n",
+                    pc.label.c_str(), sec, kMinWallSec);
+                return 0.0;
+            }
+            return static_cast<double>(pc.coreCycles) / sec;
         };
         f << csprintf(
             "    {\"name\": \"%s\", \"core_cycles\": %llu, "
@@ -1060,6 +1121,8 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
             }
         } else if (a == "--exec-stats") {
             exec_stats = true;
+        } else if (a == "--profile-ticks") {
+            setTickProfileEnabled(true);
         } else if (a.rfind("--scheduler=", 0) == 0) {
             SchedulerMode mode;
             if (!parseSchedulerMode(valueOf("--scheduler="), mode)) {
@@ -1175,7 +1238,12 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
                    "--jobs/--shards/--backend do not apply\n";
             return 1;
         }
-        return runDumpStats(opts, config_name, out, err);
+        int dump_rc = runDumpStats(opts, config_name, out, err);
+        // --dump-stats simulates too: the epilogue must not be lost
+        // to this early return.
+        if (exec_stats)
+            printExecStats(err);
+        return dump_rc;
     }
 
     if (worker) {
@@ -1266,29 +1334,8 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
             double(rep.bytesKept) / kMB, cache_max_mb);
     }
 
-    if (exec_stats) {
-        const SimCache &cache = SimCache::global();
-        err << csprintf(
-            "bwsim: exec stats: sims=%llu mem-hits=%llu disk-hits=%llu "
-            "disk-stores=%llu skipped=%llu backend=%s\n",
-            static_cast<unsigned long long>(cache.simsRun()),
-            static_cast<unsigned long long>(cache.hits()),
-            static_cast<unsigned long long>(cache.diskHits()),
-            static_cast<unsigned long long>(cache.diskStores()),
-            static_cast<unsigned long long>(cache.skipped()),
-            exp::executionBackend().name().c_str());
-        const SimSpeedTotals speed = simSpeedTotals();
-        err << csprintf(
-            "bwsim: sim speed: scheduler=%s runs=%llu "
-            "core-cycles=%llu wall=%.3fs cycles/sec=%.4g "
-            "ticked-edges=%llu skipped-edges=%llu\n",
-            schedulerModeName(schedulerMode()),
-            static_cast<unsigned long long>(speed.runs),
-            static_cast<unsigned long long>(speed.coreCycles),
-            double(speed.wallNanos) / 1e9, speed.cyclesPerSec(),
-            static_cast<unsigned long long>(speed.tickedEdges),
-            static_cast<unsigned long long>(speed.skippedEdges));
-    }
+    if (exec_stats)
+        printExecStats(err);
     return rc;
 }
 

@@ -88,6 +88,11 @@ DramChannel::DramChannel(const DramParams &params,
     bwsim_assert(isPowerOf2(cfg.lineBytes), "line size must be 2^n");
     bwsim_assert(cfg.rowBytes >= cfg.lineBytes,
                  "row smaller than a cache line");
+    bwsim_assert(cfg.numBanks <= 64,
+                 "bank bitmasks support at most 64 banks");
+    slots.reserve(cfg.schedQueueEntries);
+    bankQ.resize(cfg.numBanks);
+    maxCas = std::max(cfg.timing.CL, cfg.timing.WL);
 }
 
 void
@@ -138,7 +143,31 @@ DramChannel::push(MemFetch *mf)
     r.mf = mf;
     r.write = mf->isWrite();
     mapAddress(mf->lineAddr, r.bank, r.row);
-    schedQ.push_back(r);
+    r.seq = pushSeq++;
+    int slot;
+    if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        slot = static_cast<int>(slots.size());
+        slots.emplace_back();
+    }
+    slots[slot] = r;
+    bankQ[r.bank].push_back(slot);
+    banksWithReqs |= std::uint64_t(1) << r.bank;
+    ++queuedCount;
+}
+
+void
+DramChannel::releaseSlot(int slot)
+{
+    const Request &r = slots[slot];
+    auto &q = bankQ[r.bank];
+    q.erase(std::find(q.begin(), q.end(), slot));
+    if (q.empty())
+        banksWithReqs &= ~(std::uint64_t(1) << r.bank);
+    freeSlots.push_back(slot);
+    --queuedCount;
 }
 
 bool
@@ -146,58 +175,86 @@ DramChannel::tryIssueColumn(double now_ps)
 {
     if (cycle < chanColAllowedAt)
         return false;
-    for (auto it = schedQ.begin(); it != schedQ.end(); ++it) {
-        Bank &b = banks[it->bank];
-        if (!b.open || b.row != it->row)
-            continue;
+    // Bus-saturation early-out: a candidate's data burst would begin at
+    // cycle + CL/WL, so when even the latest possible start (maxCas) is
+    // still before busFreeAt every entry fails the bus test -- the
+    // dominant case in the congested regime, skipped without any scan.
+    if (cycle + maxCas < busFreeAt)
+        return false;
+    // A column command needs an open bank with a matching row, so only
+    // the open banks that hold queued requests can produce candidates.
+    // Within one bank every entry sees the same bank state, so the
+    // first qualifying entry in the bank's FIFO bucket is that bank's
+    // oldest candidate; the FR-FCFS winner is the min seq across
+    // banks, exactly the entry a global FIFO scan would find first.
+    std::uint64_t mask = banksWithReqs & openBanks;
+    int best = -1;
+    std::uint64_t best_seq = 0;
+    while (mask) {
+        std::uint32_t bk =
+            static_cast<std::uint32_t>(__builtin_ctzll(mask));
+        mask &= mask - 1;
+        Bank &b = banks[bk];
         if (cycle < b.colAllowedAt)
             continue;
-        if (!it->write && cycle < b.readColAfterWrite)
-            continue;
-        std::uint32_t cas = it->write ? cfg.timing.WL : cfg.timing.CL;
-        Cycle data_start = cycle + cas;
-        if (data_start < busFreeAt)
-            continue; // data bus occupied when our burst would begin
-        if (!it->write &&
-            returnQ.size() + returnsInFlight >= cfg.returnQueueEntries) {
-            continue; // no room to land the read data
+        for (int slot : bankQ[bk]) {
+            const Request &r = slots[slot];
+            if (r.row != b.row)
+                continue;
+            if (!r.write && cycle < b.readColAfterWrite)
+                continue;
+            std::uint32_t cas = r.write ? cfg.timing.WL : cfg.timing.CL;
+            if (cycle + cas < busFreeAt)
+                continue; // data bus occupied when our burst would begin
+            if (!r.write && returnQ.size() + returnsInFlight >=
+                                cfg.returnQueueEntries) {
+                continue; // no room to land the read data
+            }
+            if (best < 0 || r.seq < best_seq) {
+                best = slot;
+                best_seq = r.seq;
+            }
+            break; // bucket is FIFO: later entries are younger
         }
-
-        // Issue the column command. The burst moves the packet's data
-        // payload: writebacks carry their store bytes, read fetches
-        // what the servicing cache allocates (full lines for an
-        // unsectored L2, demanded sectors for a sectored one).
-        std::uint32_t transfer =
-            it->write ? std::max<std::uint32_t>(1, it->mf->storeBytes)
-                      : std::max<std::uint32_t>(1, it->mf->fillBytes);
-        std::uint32_t burst = static_cast<std::uint32_t>(
-            divCeil(transfer, cfg.busBytesPerCycle));
-        Cycle data_end = data_start + burst;
-        busFreeAt = data_end;
-        chanColAllowedAt = cycle + cfg.timing.tCCD;
-        ctr.dataBusBusyCycles += burst;
-        if (it->write) {
-            checker.onCommand(DramCmd::WriteCol, it->bank, cycle);
-            b.preAllowedAt =
-                std::max(b.preAllowedAt,
-                         data_end + cfg.timing.tWR);
-            b.readColAfterWrite = data_end + cfg.timing.tCDLR;
-            writeDrainPipe.push(it->mf, data_end);
-            ++ctr.writes;
-            ctr.bytesWritten += transfer;
-        } else {
-            checker.onCommand(DramCmd::ReadCol, it->bank, cycle);
-            readReturnPipe.push(it->mf,
-                                data_end + cfg.returnPipeLatency);
-            ++returnsInFlight;
-            ++ctr.reads;
-            ctr.bytesRead += transfer;
-        }
-        (void)now_ps;
-        schedQ.erase(it);
-        return true;
     }
-    return false;
+    if (best < 0)
+        return false;
+
+    // Issue the column command. The burst moves the packet's data
+    // payload: writebacks carry their store bytes, read fetches
+    // what the servicing cache allocates (full lines for an
+    // unsectored L2, demanded sectors for a sectored one).
+    const Request req = slots[best];
+    Bank &b = banks[req.bank];
+    std::uint32_t cas = req.write ? cfg.timing.WL : cfg.timing.CL;
+    Cycle data_start = cycle + cas;
+    std::uint32_t transfer =
+        req.write ? std::max<std::uint32_t>(1, req.mf->storeBytes)
+                  : std::max<std::uint32_t>(1, req.mf->fillBytes);
+    std::uint32_t burst = static_cast<std::uint32_t>(
+        divCeil(transfer, cfg.busBytesPerCycle));
+    Cycle data_end = data_start + burst;
+    busFreeAt = data_end;
+    chanColAllowedAt = cycle + cfg.timing.tCCD;
+    ctr.dataBusBusyCycles += burst;
+    if (req.write) {
+        checker.onCommand(DramCmd::WriteCol, req.bank, cycle);
+        b.preAllowedAt = std::max(b.preAllowedAt,
+                                  data_end + cfg.timing.tWR);
+        b.readColAfterWrite = data_end + cfg.timing.tCDLR;
+        writeDrainPipe.push(req.mf, data_end);
+        ++ctr.writes;
+        ctr.bytesWritten += transfer;
+    } else {
+        checker.onCommand(DramCmd::ReadCol, req.bank, cycle);
+        readReturnPipe.push(req.mf, data_end + cfg.returnPipeLatency);
+        ++returnsInFlight;
+        ++ctr.reads;
+        ctr.bytesRead += transfer;
+    }
+    (void)now_ps;
+    releaseSlot(best);
+    return true;
 }
 
 bool
@@ -205,43 +262,81 @@ DramChannel::tryIssueActivate()
 {
     if (cycle < chanActAllowedAt)
         return false;
-    for (auto &req : schedQ) {
-        Bank &b = banks[req.bank];
-        if (b.open)
-            continue;
+    // Activate qualification is purely bank-level (closed + tRC ready),
+    // so each closed bank's oldest request -- its bucket front -- is
+    // that bank's candidate, and the min seq across banks is the entry
+    // the global FIFO scan would have reached first.
+    std::uint64_t mask = banksWithReqs & ~openBanks;
+    int best = -1;
+    std::uint64_t best_seq = 0;
+    while (mask) {
+        std::uint32_t bk =
+            static_cast<std::uint32_t>(__builtin_ctzll(mask));
+        mask &= mask - 1;
+        Bank &b = banks[bk];
         if (cycle < b.actAllowedAt)
             continue;
-        checker.onCommand(DramCmd::Activate, req.bank, cycle);
-        b.open = true;
-        b.row = req.row;
-        b.colAllowedAt = cycle + cfg.timing.tRCD;
-        b.preAllowedAt = std::max(b.preAllowedAt,
-                                  Cycle(cycle + cfg.timing.tRAS));
-        b.actAllowedAt = cycle + cfg.timing.tRC;
-        chanActAllowedAt = cycle + cfg.timing.tRRD;
-        ++ctr.activates;
-        return true;
+        const Request &r = slots[bankQ[bk].front()];
+        if (best < 0 || r.seq < best_seq) {
+            best = bankQ[bk].front();
+            best_seq = r.seq;
+        }
     }
-    return false;
+    if (best < 0)
+        return false;
+    const Request &req = slots[best];
+    Bank &b = banks[req.bank];
+    checker.onCommand(DramCmd::Activate, req.bank, cycle);
+    b.open = true;
+    b.row = req.row;
+    b.colAllowedAt = cycle + cfg.timing.tRCD;
+    b.preAllowedAt = std::max(b.preAllowedAt,
+                              Cycle(cycle + cfg.timing.tRAS));
+    b.actAllowedAt = cycle + cfg.timing.tRC;
+    chanActAllowedAt = cycle + cfg.timing.tRRD;
+    openBanks |= std::uint64_t(1) << req.bank;
+    ++ctr.activates;
+    return true;
 }
 
 bool
 DramChannel::tryIssuePrecharge()
 {
-    for (auto &req : schedQ) {
-        Bank &b = banks[req.bank];
-        if (!b.open || b.row == req.row)
-            continue;
+    // Precharge wants an open bank whose oldest row-mismatching entry
+    // is the overall oldest such entry: walk each open bank's bucket
+    // for its first mismatch, min seq across banks wins.
+    std::uint64_t mask = banksWithReqs & openBanks;
+    int best_bank = -1;
+    std::uint64_t best_seq = 0;
+    while (mask) {
+        std::uint32_t bk =
+            static_cast<std::uint32_t>(__builtin_ctzll(mask));
+        mask &= mask - 1;
+        Bank &b = banks[bk];
         if (cycle < b.preAllowedAt)
             continue;
-        checker.onCommand(DramCmd::Precharge, req.bank, cycle);
-        b.open = false;
-        b.actAllowedAt = std::max(b.actAllowedAt,
-                                  Cycle(cycle + cfg.timing.tRP));
-        ++ctr.precharges;
-        return true;
+        for (int slot : bankQ[bk]) {
+            const Request &r = slots[slot];
+            if (r.row == b.row)
+                continue;
+            if (best_bank < 0 || r.seq < best_seq) {
+                best_bank = static_cast<int>(bk);
+                best_seq = r.seq;
+            }
+            break; // bucket is FIFO: later entries are younger
+        }
     }
-    return false;
+    if (best_bank < 0)
+        return false;
+    Bank &b = banks[best_bank];
+    checker.onCommand(DramCmd::Precharge,
+                      static_cast<std::uint32_t>(best_bank), cycle);
+    b.open = false;
+    b.actAllowedAt = std::max(b.actAllowedAt,
+                              Cycle(cycle + cfg.timing.tRP));
+    openBanks &= ~(std::uint64_t(1) << best_bank);
+    ++ctr.precharges;
+    return true;
 }
 
 void
@@ -266,7 +361,7 @@ DramChannel::tick(double now_ps)
         --returnsInFlight;
     }
 
-    if (schedQ.empty())
+    if (queuedCount == 0)
         return;
     ++ctr.pendingCycles;
 
@@ -281,7 +376,7 @@ DramChannel::tick(double now_ps)
 std::uint64_t
 DramChannel::horizon() const
 {
-    if (!schedQ.empty())
+    if (queuedCount != 0)
         return 0;
     std::uint64_t h = kInfiniteHorizon;
     auto event = [this, &h](Cycle ready) {
@@ -305,8 +400,9 @@ DramChannel::returnPop()
 bool
 DramChannel::drained() const
 {
-    return schedQ.empty() && returnQ.empty() && readReturnPipe.empty() &&
-           writeDrainPipe.empty() && returnsInFlight == 0;
+    return queuedCount == 0 && returnQ.empty() &&
+           readReturnPipe.empty() && writeDrainPipe.empty() &&
+           returnsInFlight == 0;
 }
 
 } // namespace bwsim

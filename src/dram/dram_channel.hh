@@ -20,7 +20,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/types.hh"
@@ -128,7 +127,7 @@ class DramChannel
     void registerStats(stats::Group &parent);
 
     /** Room in the FR-FCFS scheduler queue? */
-    bool canAccept() const { return schedQ.size() < cfg.schedQueueEntries; }
+    bool canAccept() const { return queuedCount < cfg.schedQueueEntries; }
 
     /** Enqueue a request (read fetch or writeback). */
     void push(MemFetch *mf);
@@ -143,7 +142,7 @@ class DramChannel
     MemFetch *returnPop();
     /**@}*/
 
-    std::size_t schedQueueSize() const { return schedQ.size(); }
+    std::size_t schedQueueSize() const { return queuedCount; }
     std::size_t schedQueueCapacity() const { return cfg.schedQueueEntries; }
 
     /**
@@ -172,19 +171,28 @@ class DramChannel
     void
     sampleOccupancy(stats::OccupancyHist &hist) const
     {
-        hist.sample(schedQ.size(), cfg.schedQueueEntries);
+        hist.sample(queuedCount, cfg.schedQueueEntries);
     }
 
     /** True when no request, burst or return is anywhere in flight. */
     bool drained() const;
 
   private:
+    /**
+     * One scheduler-queue entry, held in a fixed slot pool and linked
+     * into its bank's FIFO bucket. @p seq is the global arrival order:
+     * FR-FCFS ties between banks are broken by the smallest seq, which
+     * is provably the same winner the old single-FIFO linear scan
+     * found first (command qualification depends only on the entry and
+     * on bank/channel state, never on other queued entries).
+     */
     struct Request
     {
         MemFetch *mf = nullptr;
         std::uint32_t bank = 0;
         std::uint64_t row = 0;
         bool write = false;
+        std::uint64_t seq = 0;
     };
 
     struct Bank
@@ -207,8 +215,24 @@ class DramChannel
     MemFetchAllocator *alloc;
     int partitionId;
 
+    /** Remove the issued request @p slot from its bank bucket. */
+    void releaseSlot(int slot);
+
     Cycle cycle = 0;
-    std::deque<Request> schedQ;
+    /** Fixed request pool (schedQueueEntries slots) + free list. */
+    std::vector<Request> slots;
+    std::vector<int> freeSlots;
+    /** Per-bank FIFO buckets of slot indices (the row-indexed view:
+     *  the bank is a pure function of the row index). */
+    std::vector<std::vector<int>> bankQ;
+    /** Banks with >=1 queued request / banks with an open row. */
+    std::uint64_t banksWithReqs = 0;
+    std::uint64_t openBanks = 0;
+    std::size_t queuedCount = 0;
+    std::uint64_t pushSeq = 0;
+    /** max(CL, WL): latest possible data_start for the bus-saturation
+     *  early-out in tryIssueColumn(). */
+    std::uint32_t maxCas = 0;
     std::vector<Bank> banks;
     Cycle chanActAllowedAt = 0; ///< tRRD gate
     Cycle chanColAllowedAt = 0; ///< tCCD gate

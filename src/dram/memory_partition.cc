@@ -23,6 +23,9 @@ MemoryPartition::MemoryPartition(const PartitionParams &params,
         banks.push_back(std::make_unique<CacheModel>(p, alloc, -1));
         accessQ.emplace_back(cfg.accessQueueEntries);
     }
+    fillMemoVer.assign(cfg.banksPerPartition, ~std::uint64_t(0));
+    accessMemoVer.assign(cfg.banksPerPartition, ~std::uint64_t(0));
+    accessMemoCause.assign(cfg.banksPerPartition, 0);
     if (!cfg.idealDram) {
         DramParams dp = cfg.dram;
         dp.numPartitions = cfg.numPartitions;
@@ -88,43 +91,64 @@ MemoryPartition::tickL2(double now_ps)
                                  mf, mf->replyBytes(), now_ps);
         }
 
-        // 2. One fill per cycle from DRAM (or the ideal pipe).
+        // 2. One fill per cycle from DRAM (or the ideal pipe). A
+        // refused fill is a pure-state no-op, so the retry is skipped
+        // until the bank mutates (see the memo members).
         if (cfg.idealDram) {
-            if (idealPipe.ready(l2Cycle)) {
+            if (idealPipe.ready(l2Cycle) &&
+                fillMemoVer[b] != bank.version()) {
                 MemFetch *mf = idealPipe.front();
                 if (static_cast<std::uint32_t>(mf->l2BankId) == gid) {
                     std::vector<MshrWaiter> unused;
                     if (bank.fill(mf, l2Cycle, now_ps, unused))
                         idealPipe.pop();
+                    else
+                        fillMemoVer[b] = bank.version();
                 }
             }
         } else {
-            if (channel->returnReady()) {
+            if (channel->returnReady() &&
+                fillMemoVer[b] != bank.version()) {
                 MemFetch *mf = channel->returnFront();
                 if (static_cast<std::uint32_t>(mf->l2BankId) == gid) {
                     std::vector<MshrWaiter> unused;
                     if (bank.fill(mf, l2Cycle, now_ps, unused))
                         channel->returnPop();
+                    else
+                        fillMemoVer[b] = bank.version();
                 }
             }
         }
 
-        // 3. Process the head of the access queue.
+        // 3. Process the head of the access queue. A stalled head nets
+        // out to one countStall() with a state-determined cause, so
+        // the attempt is replayed from the memo until the bank
+        // mutates; PortBusy depends on the clock and is re-probed.
         if (accessQ[b].ready(l2Cycle)) {
-            MemFetch *mf = accessQ[b].front();
-            if (mf->tAtL2 == 0)
-                mf->tAtL2 = now_ps;
-            CacheAccess acc;
-            acc.lineAddr = mf->lineAddr;
-            acc.write = mf->isWrite();
-            acc.storeBytes = mf->storeBytes;
-            acc.warpId = mf->warpId;
-            acc.slotId = mf->slotId;
-            acc.isInstFetch = mf->isInstFetch();
-            acc.mf = mf;
-            CacheOutcome out = bank.access(acc, l2Cycle, now_ps);
-            if (!isStallOutcome(out))
-                accessQ[b].pop();
+            if (accessMemoVer[b] == bank.version()) {
+                bank.countStall(
+                    static_cast<CacheStallCause>(accessMemoCause[b]));
+            } else {
+                MemFetch *mf = accessQ[b].front();
+                if (mf->tAtL2 == 0)
+                    mf->tAtL2 = now_ps;
+                CacheAccess acc;
+                acc.lineAddr = mf->lineAddr;
+                acc.write = mf->isWrite();
+                acc.storeBytes = mf->storeBytes;
+                acc.warpId = mf->warpId;
+                acc.slotId = mf->slotId;
+                acc.isInstFetch = mf->isInstFetch();
+                acc.mf = mf;
+                CacheOutcome out = bank.access(acc, l2Cycle, now_ps);
+                if (!isStallOutcome(out)) {
+                    accessQ[b].pop();
+                } else if (out != CacheOutcome::StallPortBusy) {
+                    accessMemoVer[b] = bank.version();
+                    accessMemoCause[b] = static_cast<std::uint8_t>(
+                        CacheModel::stallCauseOf(out));
+                }
+            }
         }
 
         // 4. Miss queue -> DRAM scheduler queue (one per cycle).

@@ -156,6 +156,25 @@ class MemoryPartition
     Cycle l2Cycle = 0;
     Cycle dramCycle = 0;
 
+    /**
+     * @name Per-bank retry memos (congested-path fast paths)
+     *
+     * A refused fill() has zero side effects and fails on pure cache
+     * state (response-queue space vs. MSHR waiters), and a stalled
+     * access() nets out to exactly one countStall() whose cause is a
+     * pure function of cache state -- except PortBusy, which depends
+     * on the clock and is never memoized. Both outcomes are therefore
+     * replayable while CacheModel::version() is unchanged: every
+     * unblocking transition bumps the version, and the blocked head
+     * packet cannot change underneath the memo because it is only
+     * popped on success, which also bumps the version. ~0 = invalid.
+     */
+    /**@{*/
+    std::vector<std::uint64_t> fillMemoVer;
+    std::vector<std::uint64_t> accessMemoVer;
+    std::vector<std::uint8_t> accessMemoCause;
+    /**@}*/
+
     /** L2<->DRAM bytes through the ideal pipe (P_DRAM mode only). */
     std::uint64_t idealBytesRead = 0;
     std::uint64_t idealBytesWritten = 0;

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "sim/sim_speed.hh"
+#include "sim/tick_profile.hh"
 #include "workloads/trace_gen.hh"
 
 namespace bwsim
@@ -34,14 +35,17 @@ Gpu::Gpu(const GpuConfig &config, const BenchmarkProfile &profile)
 
     // Intra-instant ordering: drains first (DRAM), then the crossbar
     // and L2, then the cores that feed them.
-    dramDomain = clocks.addDomain("dram", cfg.dramClockMhz, [this] {
-        memSys->dramTick(clocks.nowPs());
-    });
-    icntDomain = clocks.addDomain("icnt", cfg.icntClockMhz, [this] {
-        memSys->icntTick(clocks.nowPs());
-    });
+    dramDomain = clocks.addDomain("dram", cfg.dramClockMhz,
+                                  profiledTick(0, [this] {
+                                      memSys->dramTick(clocks.nowPs());
+                                  }));
+    icntDomain = clocks.addDomain("icnt", cfg.icntClockMhz,
+                                  profiledTick(1, [this] {
+                                      memSys->icntTick(clocks.nowPs());
+                                  }));
     coreDomain = clocks.addDomain("core", cfg.coreClockMhz,
-                                  [this] { coreTick(); });
+                                  profiledTick(2, [this] { coreTick(); }));
+    registerTickProfileStats();
 
     clocks.domain(dramDomain)
         .setSkipHooks([this] { return memSys->dramHorizon(); },
@@ -68,6 +72,66 @@ Gpu::Gpu(const GpuConfig &config, const BenchmarkProfile &profile)
 }
 
 Gpu::~Gpu() = default;
+
+namespace
+{
+const char *const kProfSlotNames[] = {"dram", "icnt", "core"};
+}
+
+std::function<void()>
+Gpu::profiledTick(std::size_t slot, std::function<void()> fn)
+{
+    if (!tickProfileEnabled())
+        return fn;
+    return [this, slot, fn = std::move(fn)] {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        DomainTickProf &p = tickProf[slot];
+        ++p.ticks;
+        p.nanos += static_cast<std::uint64_t>(ns);
+        unsigned bucket =
+            ns > 0 ? std::min<unsigned>(
+                         p.log2Ns.size() - 1,
+                         63 - static_cast<unsigned>(__builtin_clzll(
+                                  static_cast<unsigned long long>(ns))))
+                   : 0;
+        ++p.log2Ns[bucket];
+    };
+}
+
+void
+Gpu::registerTickProfileStats()
+{
+    if (!tickProfileEnabled())
+        return;
+    stats::Group &tg = statsRoot.createChild("tick_profile");
+    for (std::size_t s = 0; s < numProfSlots; ++s) {
+        stats::Group &g = tg.createChild(kProfSlotNames[s]);
+        DomainTickProf &p = tickProf[s];
+        g.bindScalar("ticks", "domain ticks executed (not skipped)",
+                     p.ticks);
+        g.bindScalar("wall_nanos", "wall nanoseconds spent ticking",
+                     p.nanos);
+        g.formula("avg_ns_per_tick", "mean wall cost of one tick",
+                  [&p] {
+                      return p.ticks ? static_cast<double>(p.nanos) /
+                                           static_cast<double>(p.ticks)
+                                     : 0.0;
+                  });
+        std::vector<std::string> labels;
+        labels.reserve(p.log2Ns.size());
+        for (std::size_t i = 0; i < p.log2Ns.size(); ++i)
+            labels.push_back(csprintf("ns_ge_%llu",
+                                      1ULL << i));
+        g.bindVector("tick_cost_log2",
+                     "ticks bucketed by floor(log2(wall ns))",
+                     p.log2Ns.data(), p.log2Ns.size(), labels);
+    }
+}
 
 CtaWork
 Gpu::takeCta(int core_id)
@@ -156,6 +220,7 @@ Gpu::run()
     const std::uint64_t cycles0 = coreCycleCount;
     const std::uint64_t ticked0 = clocks.tickedEdges();
     const std::uint64_t skipped0 = clocks.skippedEdges();
+    const auto prof0 = tickProf;
     const auto wall0 = std::chrono::steady_clock::now();
 
     while (!allWorkDone()) {
@@ -186,6 +251,13 @@ Gpu::run()
                    clocks.tickedEdges() - ticked0,
                    clocks.skippedEdges() - skipped0,
                    static_cast<std::uint64_t>(wall_ns));
+    if (tickProfileEnabled()) {
+        for (std::size_t s = 0; s < numProfSlots; ++s) {
+            recordTickProfile(kProfSlotNames[s],
+                              tickProf[s].ticks - prof0[s].ticks,
+                              tickProf[s].nanos - prof0[s].nanos);
+        }
+    }
     return harvest();
 }
 

@@ -21,6 +21,8 @@
 #ifndef BWSIM_GPU_GPU_HH
 #define BWSIM_GPU_GPU_HH
 
+#include <array>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <vector>
@@ -88,6 +90,28 @@ class Gpu : public WorkSource
     /** Integrate a skipped core-domain span into every core. */
     void coreSkip(std::uint64_t n);
 
+    /**
+     * Per-domain tick-cost telemetry (--profile-ticks). Slots are
+     * fixed (0 = dram, 1 = icnt, 2 = core); the log2Ns histogram
+     * buckets one tick's wall cost at floor(log2(ns)), capped at the
+     * last bucket. Only populated -- and only registered as a stats
+     * group -- when the profiler is enabled, so the default stats
+     * tree is byte-identical.
+     */
+    struct DomainTickProf
+    {
+        std::uint64_t ticks = 0;
+        std::uint64_t nanos = 0;
+        std::array<std::uint64_t, 16> log2Ns{};
+    };
+    static constexpr std::size_t numProfSlots = 3;
+    /** Wrap @p fn with the steady_clock probe for @p slot (identity
+     *  when the profiler is disabled). */
+    std::function<void()> profiledTick(std::size_t slot,
+                                       std::function<void()> fn);
+    /** Register the "tick_profile" stats group (enabled runs only). */
+    void registerTickProfileStats();
+
     GpuConfig cfg;
     BenchmarkProfile prof;
     MemFetchAllocator alloc;
@@ -105,6 +129,8 @@ class Gpu : public WorkSource
     int ctasRemaining = 0;
     std::uint64_t ctaSeq = 0;
     bool resultTimedOut = false;
+
+    std::array<DomainTickProf, numProfSlots> tickProf{};
 };
 
 } // namespace bwsim

@@ -22,6 +22,31 @@ CrossbarNetwork::CrossbarNetwork(const NetworkParams &params) : cfg(params)
     reservedEj.assign(cfg.numDests, 0);
     rrPtr.assign(cfg.numDests, 0);
     grant.assign(cfg.numDests, -1);
+    bwsim_assert(cfg.numSources <= 64 && cfg.numDests <= 64,
+                 "network '%s': arbitration bitsets support at most 64 "
+                 "ports per side",
+                 cfg.name.c_str());
+    wantMask.assign(cfg.numDests, 0);
+}
+
+/** The head of @p src's injection queue changed to a live packet. */
+void
+CrossbarNetwork::headArrived(std::uint32_t src)
+{
+    const Packet &head = injQ[src].front();
+    wantMask[head.dst] |= std::uint64_t(1) << src;
+    wantedDests |= std::uint64_t(1) << head.dst;
+}
+
+/** The head of @p src's injection queue (bound for @p dst) was popped. */
+void
+CrossbarNetwork::headConsumed(std::uint32_t src, std::uint32_t dst)
+{
+    wantMask[dst] &= ~(std::uint64_t(1) << src);
+    if (wantMask[dst] == 0)
+        wantedDests &= ~(std::uint64_t(1) << dst);
+    if (!injQ[src].empty())
+        headArrived(src);
 }
 
 void
@@ -66,6 +91,8 @@ CrossbarNetwork::inject(std::uint32_t src, std::uint32_t dst, MemFetch *mf,
     bool ok = injQ.at(src).push(p);
     bwsim_assert(ok, "inject into full queue on '%s' (check canAccept)",
                  cfg.name.c_str());
+    if (injQ[src].size() == 1)
+        headArrived(src);
     if (mf->tInjected == 0)
         mf->tInjected = now_ps;
     ++ctr.packetsInjected;
@@ -78,7 +105,13 @@ CrossbarNetwork::tick()
     ++cycle;
 
     // Deliver transit arrivals whose ejection slot was pre-reserved.
-    for (std::uint32_t d = 0; d < cfg.numDests; ++d) {
+    // Only destinations with an occupied transit pipe are visited; the
+    // ascending bit order is the original 0..N-1 port order.
+    std::uint64_t tmask = transitMask;
+    while (tmask) {
+        std::uint32_t d =
+            static_cast<std::uint32_t>(__builtin_ctzll(tmask));
+        tmask &= tmask - 1;
         auto &pipe = transit[d];
         while (pipe.ready(cycle)) {
             Packet p = pipe.pop();
@@ -89,30 +122,49 @@ CrossbarNetwork::tick()
             --reservedEj[d];
             ++ctr.packetsEjected;
         }
+        if (pipe.empty())
+            transitMask &= ~(std::uint64_t(1) << d);
     }
 
     // Each destination output port moves one flit from one source.
-    for (std::uint32_t d = 0; d < cfg.numDests; ++d) {
+    // A port only has work when it holds a grant or some source's
+    // head packet targets it. Eligibility is re-read at each visit
+    // (not snapshotted): popping a head while serving dest d can
+    // expose a new head wanting a higher-numbered dest, which the
+    // original ascending 0..N-1 scan served in the same cycle.
+    // Dests below the cursor stay skipped, exactly like that scan.
+    std::uint64_t passed = 0; ///< dest bits at or below the cursor
+    for (;;) {
+        std::uint64_t active = (grantMask | wantedDests) & ~passed;
+        if (!active)
+            break;
+        std::uint32_t d =
+            static_cast<std::uint32_t>(__builtin_ctzll(active));
+        passed |= ~std::uint64_t(0) >> (63 - d);
         int src = grant[d];
         if (src < 0) {
-            // Arbitrate: round-robin over sources with a head packet
-            // for this destination and a reservable ejection slot.
-            for (std::uint32_t i = 0; i < cfg.numSources; ++i) {
-                std::uint32_t s = (rrPtr[d] + i) % cfg.numSources;
-                if (injQ[s].empty() || injQ[s].front().dst != d)
-                    continue;
-                if (ejQ[d].size() + reservedEj[d] >= ejQ[d].capacity()) {
-                    ++ctr.ejectBlockedCycles;
-                    break; // ejection full: port idles this cycle
-                }
-                src = static_cast<int>(s);
-                rrPtr[d] = (s + 1) % cfg.numSources;
-                ++reservedEj[d];
-                grant[d] = src;
-                break;
-            }
-            if (src < 0)
+            // Arbitrate: round-robin over the sources whose head
+            // packet targets this destination, provided an ejection
+            // slot can be reserved. Rotating the want-bitset by the
+            // round-robin pointer picks exactly the source the
+            // original source-order scan would have found first.
+            std::uint64_t want = wantMask[d];
+            if (want == 0)
                 continue;
+            if (ejQ[d].size() + reservedEj[d] >= ejQ[d].capacity()) {
+                ++ctr.ejectBlockedCycles;
+                continue; // ejection full: port idles this cycle
+            }
+            std::uint64_t from = want >> rrPtr[d];
+            std::uint32_t s =
+                from ? rrPtr[d] + static_cast<std::uint32_t>(
+                                      __builtin_ctzll(from))
+                     : static_cast<std::uint32_t>(__builtin_ctzll(want));
+            src = static_cast<int>(s);
+            rrPtr[d] = (s + 1) % cfg.numSources;
+            ++reservedEj[d];
+            grant[d] = src;
+            grantMask |= std::uint64_t(1) << d;
         }
 
         // Move one flit of the granted packet.
@@ -123,8 +175,11 @@ CrossbarNetwork::tick()
         ++ctr.flitsTransferred;
         if (head.flitsLeft == 0) {
             Packet done = injQ[src].pop();
+            headConsumed(static_cast<std::uint32_t>(src), d);
             transit[d].push(done, cycle + cfg.transitLatency);
+            transitMask |= std::uint64_t(1) << d;
             grant[d] = -1;
+            grantMask &= ~(std::uint64_t(1) << d);
         }
     }
 }
@@ -165,18 +220,20 @@ CrossbarNetwork::packetsInFlight() const
 std::uint64_t
 CrossbarNetwork::horizon() const
 {
-    for (const auto &q : injQ) {
-        if (!q.empty())
-            return 0;
-    }
+    // Every non-empty injection queue has a head packet wanting some
+    // destination, so the want-bitsets subsume the per-source scan.
+    if (wantedDests != 0)
+        return 0;
     // Granted packets live in their injection queue, so empty queues
     // also mean no grants and no eject-blocked accounting: only
     // in-transit deliveries can make a future tick observable.
     std::uint64_t h = kInfiniteHorizon;
-    for (const auto &pipe : transit) {
-        if (pipe.empty())
-            continue;
-        Cycle ready = pipe.frontReady();
+    std::uint64_t tmask = transitMask;
+    while (tmask) {
+        std::uint32_t d =
+            static_cast<std::uint32_t>(__builtin_ctzll(tmask));
+        tmask &= tmask - 1;
+        Cycle ready = transit[d].frontReady();
         h = std::min(h, ready > cycle + 1
                             ? static_cast<std::uint64_t>(ready - cycle - 1)
                             : std::uint64_t(0));

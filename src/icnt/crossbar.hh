@@ -149,6 +149,27 @@ class CrossbarNetwork
     std::vector<std::uint32_t> rrPtr;
     /** Source currently granted to each destination (-1 if none). */
     std::vector<int> grant;
+
+    /**
+     * @name Arbitration bitsets (congested-path fast paths)
+     *
+     * The per-cycle work is driven by head packets only, so the tick
+     * loop never has to visit idle ports: wantMask[d] holds the
+     * sources whose head packet targets d (updated when a head
+     * appears or is consumed), wantedDests/grantMask cover the
+     * destinations with any arbitration or transfer to do, and
+     * transitMask the destinations with an occupied transit pipe.
+     * Iterating set bits in ascending order reproduces exactly the
+     * original 0..N-1 port scan.
+     */
+    /**@{*/
+    std::vector<std::uint64_t> wantMask; ///< per dest, over sources
+    std::uint64_t wantedDests = 0;
+    std::uint64_t grantMask = 0;
+    std::uint64_t transitMask = 0;
+    void headArrived(std::uint32_t src);
+    void headConsumed(std::uint32_t src, std::uint32_t dst);
+    /**@}*/
 };
 
 /** The two networks bundled, with the id plumbing the GPU needs. */

@@ -1,0 +1,89 @@
+#include "sim/tick_profile.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace bwsim
+{
+
+namespace
+{
+
+bool
+enabledFromEnv()
+{
+    const char *env = std::getenv("BWSIM_PROFILE_TICKS");
+    return env && *env && std::string(env) != "0";
+}
+
+std::atomic<bool> &
+enabledCell()
+{
+    static std::atomic<bool> cell{enabledFromEnv()};
+    return cell;
+}
+
+struct DomainTotals
+{
+    std::string domain;
+    std::uint64_t ticks = 0;
+    std::uint64_t nanos = 0;
+};
+
+struct Registry
+{
+    std::mutex mtx;
+    std::vector<DomainTotals> domains;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+bool
+tickProfileEnabled()
+{
+    return enabledCell().load(std::memory_order_relaxed);
+}
+
+void
+setTickProfileEnabled(bool enabled)
+{
+    enabledCell().store(enabled, std::memory_order_relaxed);
+}
+
+void
+recordTickProfile(const std::string &domain, std::uint64_t ticks,
+                  std::uint64_t nanos)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    for (auto &d : r.domains) {
+        if (d.domain == domain) {
+            d.ticks += ticks;
+            d.nanos += nanos;
+            return;
+        }
+    }
+    r.domains.push_back({domain, ticks, nanos});
+}
+
+std::vector<TickProfileDomainTotals>
+tickProfileTotals()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    std::vector<TickProfileDomainTotals> out;
+    out.reserve(r.domains.size());
+    for (const auto &d : r.domains)
+        out.push_back({d.domain, d.ticks, d.nanos});
+    return out;
+}
+
+} // namespace bwsim

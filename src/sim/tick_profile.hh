@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Lightweight tick-path profiler (--profile-ticks).
+ *
+ * Like the scheduler mode, profiling is a process-global execution
+ * detail and deliberately NOT a GpuConfig knob: it never changes
+ * simulated behavior, so it must never enter cache keys or serialized
+ * results. When enabled (--profile-ticks or BWSIM_PROFILE_TICKS=1),
+ * every Gpu wraps its clock-domain tick callbacks with a
+ * steady_clock probe and registers a "tick_profile" group (per-domain
+ * tick counts, wall nanoseconds and a log2 cost histogram) under its
+ * stats tree; per-process totals feed the --exec-stats epilogue.
+ * When disabled the callbacks are installed unwrapped: zero overhead
+ * and a byte-identical --dump-stats tree.
+ */
+
+#ifndef BWSIM_SIM_TICK_PROFILE_HH
+#define BWSIM_SIM_TICK_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bwsim
+{
+
+/** Is the tick-path profiler on (env BWSIM_PROFILE_TICKS read once)? */
+bool tickProfileEnabled();
+
+/** Override the setting (the CLI's --profile-ticks flag). */
+void setTickProfileEnabled(bool enabled);
+
+/** Per-clock-domain process-wide totals. */
+struct TickProfileDomainTotals
+{
+    std::string domain;
+    std::uint64_t ticks = 0;
+    std::uint64_t nanos = 0;
+
+    double
+    avgNanos() const
+    {
+        return ticks ? static_cast<double>(nanos) /
+                           static_cast<double>(ticks)
+                     : 0.0;
+    }
+};
+
+/** Accumulate one simulation's per-domain cost (thread-safe). */
+void recordTickProfile(const std::string &domain, std::uint64_t ticks,
+                       std::uint64_t nanos);
+
+/** Snapshot of every domain recorded so far, in first-seen order. */
+std::vector<TickProfileDomainTotals> tickProfileTotals();
+
+} // namespace bwsim
+
+#endif // BWSIM_SIM_TICK_PROFILE_HH

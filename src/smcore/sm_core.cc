@@ -22,7 +22,9 @@ SmCore::SmCore(const CoreParams &params, MemFetchAllocator *allocator)
       scoreboard(params.maxWarps),
       lsu(params.memPipelineWidth),
       greedyWarp(params.numSchedulers, -1),
-      lrrPtr(params.numSchedulers, 0)
+      lrrPtr(params.numSchedulers, 0),
+      fetchMemoVer(params.maxWarps, ~std::uint64_t(0)),
+      fetchMemoCause(params.maxWarps, 0)
 {
     bwsim_assert(alloc, "core %d needs a packet allocator", cfg.coreId);
     bwsim_assert(cfg.maxWarps > 0 && cfg.numSchedulers > 0,
@@ -165,6 +167,7 @@ SmCore::maybeDispatchCtas()
         }
         schedListDirty = true;
         retireDirty = true; // empty-program warps retire immediately
+        issueDirty = true;
     }
 }
 
@@ -182,6 +185,19 @@ SmCore::fetchStage(double now_ps)
     int w = rotated ? __builtin_ctzll(rotated)
                     : __builtin_ctzll(fetchEligible);
 
+    // Batched retry: a stalled I-fetch leaves the cache and the warp's
+    // PC untouched, and L1I stall outcomes depend only on cache state
+    // (no data port, no response queue at L1), so while the L1I
+    // version is unchanged the same warp re-derives the same stall.
+    // Replay the counter math and skip the probe.
+    if (fetchMemoVer[w] == l1iCache->version()) {
+        l1iCache->countStall(
+            static_cast<CacheStallCause>(fetchMemoCause[w]));
+        updateFetchBit(w);
+        fetchPtr = (w + 1) % int(warps.size());
+        return;
+    }
+
     Warp &warp = warps[w];
     Addr pc = warp.cursor->nextPc();
     Addr line = roundDown(pc, cfg.l1i.lineBytes);
@@ -191,6 +207,13 @@ SmCore::fetchStage(double now_ps)
     acc.slotId = -1;
     acc.isInstFetch = true;
     CacheOutcome out = l1iCache->access(acc, cycle, now_ps);
+    if (isStallOutcome(out) && out != CacheOutcome::StallPortBusy) {
+        // PortBusy (port-configured caches only) depends on the
+        // current cycle, not just cache state: never memoize it.
+        fetchMemoVer[w] = l1iCache->version();
+        fetchMemoCause[w] = static_cast<std::uint8_t>(
+            CacheModel::stallCauseOf(out));
+    }
     if (out == CacheOutcome::HitServiced) {
         bool was_empty = (ibufCnt[w] == 0);
         for (int k = 0; k < cfg.fetchWidth &&
@@ -211,6 +234,7 @@ SmCore::fetchStage(double now_ps)
         }
         if (was_empty)
             syncHead(w);
+        issueDirty = true; // refilled I-buffer: new issue candidate
         if (warp.cursor->done()) {
             wflags[w] |= WfCursorDone;
             retireDirty = true;
@@ -305,6 +329,19 @@ SmCore::popIbufHead(int warp)
 void
 SmCore::issueStage()
 {
+    // Batched retry: a zero-issue scan has no side effects beyond the
+    // saw-flags, and its outcome is a pure function of state that only
+    // changes at marked points (issue itself, exec completions, fetch
+    // refills, memory completions, dispatch/retire), each of which
+    // sets issueDirty. While clean, this cycle's scan would re-derive
+    // exactly the flags the last scan left behind: keep them and skip
+    // the warp loop.
+    if (!issueDirty) {
+        issuedThisCycle = 0;
+        aluIssuedThisCycle = 0;
+        return;
+    }
+
     issuedThisCycle = 0;
     aluIssuedThisCycle = 0;
     sawStructMem = sawStructAlu = sawDataMem = sawDataAlu = false;
@@ -410,6 +447,11 @@ SmCore::issueStage()
                 lrrPtr[s] = lrrPtr[s] + 1;
         }
     }
+
+    // An issue changed scoreboard/unit/I-buffer state, so next cycle
+    // must scan again; a zero-issue scan is reusable until a marked
+    // mutation re-arms the dirty bit.
+    issueDirty = (issuedThisCycle > 0);
 }
 
 void
@@ -421,6 +463,7 @@ SmCore::execStage()
             scoreboard.clear(w, reg);
         --aluInflight;
         retireDirty = true;
+        issueDirty = true;
     }
     while (sfuPipe.ready(cycle)) {
         auto [w, reg] = sfuPipe.pop();
@@ -428,6 +471,7 @@ SmCore::execStage()
             scoreboard.clear(w, reg);
         --sfuInflight;
         retireDirty = true;
+        issueDirty = true;
     }
 }
 
@@ -451,6 +495,7 @@ SmCore::pendingAccessDone(int pending_idx)
     p.valid = false;
     pendingFree.push_back(pending_idx);
     retireDirty = true;
+    issueDirty = true;
 }
 
 void
@@ -481,6 +526,18 @@ SmCore::memStage(double now_ps)
         return;
 
     LsuSlot &s = lsu[oldest];
+
+    // Batched retry: a stalled L1D access leaves the cache untouched,
+    // and L1 stall outcomes are pure functions of cache state (no data
+    // port, no response queue at L1). While the L1D version and the
+    // presented access are both unchanged, replay the stall-cause
+    // count instead of re-probing.
+    if (memRetryValid && l1dCache->version() == memRetryVer &&
+        s.seq == memRetrySeq && s.nextIdx == memRetryIdx) {
+        l1dCache->countStall(memRetryCause);
+        return;
+    }
+
     CacheAccess acc;
     acc.lineAddr = s.addrs[s.nextIdx];
     acc.write = s.write;
@@ -496,9 +553,20 @@ SmCore::memStage(double now_ps)
     acc.warpId = s.warpId;
     acc.slotId = s.pendingIdx;
     CacheOutcome out = l1dCache->access(acc, cycle, now_ps);
-    if (isStallOutcome(out))
+    if (isStallOutcome(out)) {
+        if (out != CacheOutcome::StallPortBusy) {
+            // PortBusy depends on the cycle, not just cache state:
+            // never memoize it (L1s are portless in every preset).
+            memRetryValid = true;
+            memRetryVer = l1dCache->version();
+            memRetrySeq = s.seq;
+            memRetryIdx = s.nextIdx;
+            memRetryCause = CacheModel::stallCauseOf(out);
+        }
         return; // L1 counted the cause; retry next cycle
+    }
     ++ctr.l1Accesses;
+    issueDirty = true; // LSU slot progress can free a struct hazard
     int pending_idx = s.pendingIdx;
     ++s.nextIdx;
     if (s.nextIdx >= s.addrs.size()) {
@@ -549,6 +617,7 @@ SmCore::retireFinishedWarps()
             ++ctr.ctasCompleted;
         }
         schedListDirty = true;
+        issueDirty = true;
     }
 }
 

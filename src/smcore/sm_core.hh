@@ -314,6 +314,35 @@ class SmCore
     bool sawDataMem = false, sawDataAlu = false;
     int aluIssuedThisCycle = 0;
 
+    /**
+     * @name Batched retry memos (congested-path fast paths)
+     *
+     * A zero-issue scheduler scan and a stalled L1 access are pure
+     * functions of core/cache state: re-running them each cycle while
+     * nothing changed re-derives the same saw-flags / stall cause.
+     * The memos below skip the re-derivation and replay the counter
+     * math; every mutation that could change the outcome either bumps
+     * the cache version or sets issueDirty, so the replayed values are
+     * provably the ones a fresh scan would produce.
+     */
+    /**@{*/
+    /** False only while no state consulted by issueStage() has
+     *  changed since a zero-issue scan left the saw-flags set. */
+    bool issueDirty = true;
+    /** Memoized stalled L1D access: valid while the L1D version and
+     *  the presented access (slot seq, access index) are unchanged
+     *  and the cause is state-only (never PortBusy). */
+    bool memRetryValid = false;
+    std::uint64_t memRetryVer = 0;
+    std::uint64_t memRetrySeq = 0;
+    std::uint32_t memRetryIdx = 0;
+    CacheStallCause memRetryCause = CacheStallCause::MshrFull;
+    /** Per-warp memoized stalled I-fetch: valid while the L1I version
+     *  is unchanged (the warp's PC cannot move on a stall). */
+    std::vector<std::uint64_t> fetchMemoVer;
+    std::vector<std::uint8_t> fetchMemoCause;
+    /**@}*/
+
     bool finishedLatched = false;
     /** Stall cause a skipped span integrates (see quiesceHorizon). */
     IssueStall skipStallCause = IssueStall::Fetch;

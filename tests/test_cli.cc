@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cli/cli.hh"
+#include "sim/tick_profile.hh"
 
 using namespace bwsim;
 
@@ -235,6 +236,63 @@ TEST(Cli, DumpStatsPrintsTheTree)
     // fixed-latency mode models no network or partitions.
     EXPECT_EQ(out.find("gpu.icnt."), std::string::npos);
     EXPECT_EQ(out.find("gpu.part"), std::string::npos);
+}
+
+TEST(Cli, DumpStatsStillPrintsTheExecStatsEpilogue)
+{
+    // Regression: the --dump-stats path used to return before the
+    // --exec-stats epilogue, silently eating the flag.
+    std::string out, err;
+    ASSERT_EQ(runCli({"--dump-stats", "--benches=bfs", "--shrink=64",
+                      "--config=fixed-200", "--exec-stats"},
+                     out, err),
+              0);
+    EXPECT_NE(out.find("gpu.core0.issued_insts"), std::string::npos);
+    EXPECT_NE(err.find("bwsim: exec stats: sims="), std::string::npos);
+    EXPECT_NE(err.find("bwsim: sim speed: scheduler="),
+              std::string::npos);
+    // Without --profile-ticks there must be no profiler lines.
+    EXPECT_EQ(err.find("bwsim: tick profile:"), std::string::npos);
+}
+
+TEST(Cli, ProfileTicksAddsTheProfilerTreeAndEpilogue)
+{
+    std::string out, err;
+    ASSERT_EQ(runCli({"--dump-stats", "--benches=bfs", "--shrink=64",
+                      "--profile-ticks", "--exec-stats"},
+                     out, err),
+              0);
+    setTickProfileEnabled(false); // process-global; don't leak
+    EXPECT_NE(out.find("gpu.tick_profile.core.ticks"),
+              std::string::npos);
+    EXPECT_NE(out.find("gpu.tick_profile.dram.wall_nanos"),
+              std::string::npos);
+    EXPECT_NE(out.find("gpu.tick_profile.icnt.avg_ns_per_tick"),
+              std::string::npos);
+    EXPECT_NE(err.find("bwsim: tick profile: domain="),
+              std::string::npos);
+
+    // The profiler must be observe-only: the rest of the tree is
+    // unchanged relative to an unprofiled run.
+    std::string out2, err2;
+    ASSERT_EQ(runCli({"--dump-stats", "--benches=bfs", "--shrink=64"},
+                     out2, err2),
+              0);
+    EXPECT_EQ(out2.find("gpu.tick_profile"), std::string::npos);
+    std::istringstream is(out);
+    std::string line, filtered;
+    while (std::getline(is, line)) {
+        if (line.rfind("gpu.tick_profile", 0) != 0)
+            filtered += line + "\n";
+    }
+    EXPECT_EQ(filtered, out2);
+}
+
+TEST(Cli, UsageMentionsTheTickProfileFlag)
+{
+    std::string out, err;
+    EXPECT_EQ(runCli({"--help"}, out, err), 0);
+    EXPECT_NE(out.find("--profile-ticks"), std::string::npos);
 }
 
 TEST(Cli, ShardOptionsValidated)

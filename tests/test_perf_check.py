@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/perf_check.py.
+
+Exercises the comparison logic against synthetic reports, with a focus
+on degenerate timings: bwsim emits a rate of 0 for runs that finish
+below its wall-clock floor, and a hand-edited or corrupt report can
+carry inf/NaN. None of those are regression signals -- the checker must
+skip such rows with a warning instead of failing the build.
+
+Run directly (python3 tests/test_perf_check.py) or via ctest.
+"""
+
+import contextlib
+import importlib.util
+import io
+import json
+import math
+import os
+import sys
+import tempfile
+import unittest
+
+_SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       os.pardir, "scripts", "perf_check.py")
+_spec = importlib.util.spec_from_file_location("perf_check", _SCRIPT)
+perf_check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_check)
+
+
+def report(rates, probe=2.0):
+    """Build a minimal perf report: {profile name: skip rate}."""
+    return {
+        "commit": "test",
+        "host": {"machine": "test"},
+        "profiles": [
+            {"name": name, "skip": {"cycles_per_sec": rate}}
+            for name, rate in rates.items()
+        ],
+        "summary": {"latency_probe_speedup": probe},
+    }
+
+
+class PerfCheckTest(unittest.TestCase):
+
+    def run_check(self, fresh, base, env=None):
+        """Run perf_check.main() on two in-memory reports.
+
+        Returns (exit code, captured stdout+stderr).
+        """
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh_path = os.path.join(tmp, "fresh.json")
+            base_path = os.path.join(tmp, "base.json")
+            with open(fresh_path, "w", encoding="utf-8") as fh:
+                json.dump(fresh, fh)
+            with open(base_path, "w", encoding="utf-8") as fh:
+                json.dump(base, fh)
+            saved_argv = sys.argv
+            saved_env = {k: os.environ.get(k)
+                         for k in ("BWSIM_PERF_THRESHOLD",
+                                   "BWSIM_PERF_SOFT")}
+            out = io.StringIO()
+            try:
+                for k in saved_env:
+                    os.environ.pop(k, None)
+                os.environ.update(env or {})
+                sys.argv = ["perf_check.py", fresh_path, base_path]
+                with contextlib.redirect_stdout(out), \
+                        contextlib.redirect_stderr(out):
+                    rc = perf_check.main()
+            finally:
+                sys.argv = saved_argv
+                for k, v in saved_env.items():
+                    if v is None:
+                        os.environ.pop(k, None)
+                    else:
+                        os.environ[k] = v
+            return rc, out.getvalue()
+
+    def test_healthy_comparison_passes(self):
+        rc, out = self.run_check(report({"mm": 110.0, "lbm": 95.0}),
+                                 report({"mm": 100.0, "lbm": 100.0}))
+        self.assertEqual(rc, 0)
+        self.assertIn("perf_check: OK", out)
+
+    def test_real_regression_fails(self):
+        rc, out = self.run_check(report({"mm": 50.0}),
+                                 report({"mm": 100.0}))
+        self.assertEqual(rc, 1)
+        self.assertIn("REGRESSED", out)
+
+    def test_soft_mode_demotes_regression(self):
+        rc, out = self.run_check(report({"mm": 50.0}),
+                                 report({"mm": 100.0}),
+                                 env={"BWSIM_PERF_SOFT": "1"})
+        self.assertEqual(rc, 0)
+        self.assertIn("not failing the build", out)
+
+    def test_threshold_env_respected(self):
+        # 0.80x drop passes at threshold 0.25 but fails at 0.10.
+        rc, _ = self.run_check(report({"mm": 80.0}),
+                               report({"mm": 100.0}),
+                               env={"BWSIM_PERF_THRESHOLD": "0.25"})
+        self.assertEqual(rc, 0)
+        rc, _ = self.run_check(report({"mm": 80.0}),
+                               report({"mm": 100.0}),
+                               env={"BWSIM_PERF_THRESHOLD": "0.10"})
+        self.assertEqual(rc, 1)
+
+    def test_zero_fresh_rate_skipped_not_regressed(self):
+        # bwsim reports rate 0 for sub-floor wall times; must not be
+        # treated as an infinite regression.
+        rc, out = self.run_check(report({"mm": 0.0, "lbm": 100.0}),
+                                 report({"mm": 100.0, "lbm": 100.0}))
+        self.assertEqual(rc, 0)
+        self.assertIn("skipped (degenerate rate", out)
+        self.assertNotIn("REGRESSED", out)
+
+    def test_zero_baseline_rate_skipped(self):
+        # The pre-fix checker scored this row 0.00x and failed.
+        rc, out = self.run_check(report({"mm": 100.0}),
+                                 report({"mm": 0.0}))
+        self.assertEqual(rc, 0)
+        self.assertIn("skipped (degenerate rate", out)
+
+    def test_nonfinite_rates_skipped(self):
+        for bad in (math.inf, math.nan, -5.0, None):
+            rc, out = self.run_check(report({"mm": bad}),
+                                     report({"mm": 100.0}))
+            self.assertEqual(rc, 0, f"rate {bad!r} should be skipped")
+            self.assertIn("skipped (degenerate rate", out)
+
+    def test_missing_skip_section_skipped(self):
+        fresh = report({"mm": 100.0})
+        del fresh["profiles"][0]["skip"]
+        rc, out = self.run_check(fresh, report({"mm": 100.0}))
+        self.assertEqual(rc, 0)
+        self.assertIn("skipped (degenerate rate", out)
+
+    def test_missing_profile_still_fails(self):
+        rc, out = self.run_check(report({}), report({"mm": 100.0}))
+        self.assertEqual(rc, 1)
+        self.assertIn("missing from fresh report", out)
+
+    def test_probe_regression_still_fails(self):
+        rc, out = self.run_check(report({"mm": 100.0}, probe=0.9),
+                                 report({"mm": 100.0}))
+        self.assertEqual(rc, 1)
+        self.assertIn("no longer beats lockstep", out)
+
+    def test_degenerate_probe_skipped(self):
+        for bad in (0.0, math.inf, math.nan):
+            rc, out = self.run_check(report({"mm": 100.0}, probe=bad),
+                                     report({"mm": 100.0}))
+            self.assertEqual(rc, 0, f"probe {bad!r} should be skipped")
+            self.assertIn("latency probe speedup skipped", out)
+
+    def test_usable_rate_predicate(self):
+        self.assertTrue(perf_check.usable_rate(1.0))
+        self.assertTrue(perf_check.usable_rate(42))
+        for bad in (0.0, -1.0, math.inf, -math.inf, math.nan,
+                    None, "100", []):
+            self.assertFalse(perf_check.usable_rate(bad), repr(bad))
+
+
+if __name__ == "__main__":
+    unittest.main()
