@@ -125,6 +125,36 @@ smoke() {
         exit 1
     }
 
+    echo "smoke: --profile-ticks tick-cost telemetry"
+    # The profiler must report per-domain tick costs plus the fused-
+    # span epilogue on stderr, and register the tick_profile stats
+    # group -- and the congested bfs run must actually fuse spans.
+    ./build/bwsim --dump-stats --benches=bfs --shrink=16 \
+        --profile-ticks --exec-stats \
+        > "$smoke_tmp/prof.out" 2> "$smoke_tmp/prof.err"
+    grep -q 'tick profile: domain=core' "$smoke_tmp/prof.err" || {
+        echo "smoke FAIL: --profile-ticks printed no per-domain" \
+             "tick profile:" >&2
+        cat "$smoke_tmp/prof.err" >&2
+        exit 1
+    }
+    grep -q 'tick profile: fused-spans=' "$smoke_tmp/prof.err" || {
+        echo "smoke FAIL: --profile-ticks printed no fused-span" \
+             "epilogue:" >&2
+        cat "$smoke_tmp/prof.err" >&2
+        exit 1
+    }
+    if grep -q 'fused-spans=0 ' "$smoke_tmp/prof.err"; then
+        echo "smoke FAIL: congested bfs run fused zero spans" >&2
+        cat "$smoke_tmp/prof.err" >&2
+        exit 1
+    fi
+    grep -q 'gpu\.tick_profile\.core' "$smoke_tmp/prof.out" || {
+        echo "smoke FAIL: --profile-ticks did not register the" \
+             "tick_profile stats group" >&2
+        exit 1
+    }
+
     echo "smoke: hierarchy-variant config end-to-end"
     # One mitigation preset through the whole engine: the run must
     # complete and publish the per-level bandwidth formulas, and the

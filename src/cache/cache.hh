@@ -272,6 +272,17 @@ class CacheModel
         ++ctr.stallCycles[static_cast<unsigned>(cause)];
     }
 
+    /**
+     * Account @p n stalled cycles against @p cause in one shot: the
+     * span-integration path of a fused skip. Only valid for causes a
+     * memoized retry proves constant over the span (never PortBusy).
+     */
+    void
+    countStalls(CacheStallCause cause, std::uint64_t n)
+    {
+        ctr.stallCycles[static_cast<unsigned>(cause)] += n;
+    }
+
     /** Map a stall outcome to its aggregate cause. */
     static CacheStallCause stallCauseOf(CacheOutcome o);
 

@@ -397,7 +397,8 @@ printUsage(std::ostream &os)
           "  --exec-stats      print cache/backend counters and the\n"
           "                    simulation-speed report (core-cycles,\n"
           "                    wall seconds, cycles/sec, ticked vs\n"
-          "                    skipped clock edges) to stderr\n"
+          "                    skipped clock edges, fused spans) to\n"
+          "                    stderr\n"
           "  --profile-ticks   time every executed clock-domain tick:\n"
           "                    per-domain cost histograms appear as a\n"
           "                    'tick_profile' group in --dump-stats\n"
@@ -521,13 +522,16 @@ printExecStats(std::ostream &err)
     err << csprintf(
         "bwsim: sim speed: scheduler=%s runs=%llu "
         "core-cycles=%llu wall=%.3fs cycles/sec=%.4g "
-        "ticked-edges=%llu skipped-edges=%llu\n",
+        "ticked-edges=%llu skipped-edges=%llu "
+        "fused-spans=%llu fused-cycles=%llu\n",
         schedulerModeName(schedulerMode()),
         static_cast<unsigned long long>(speed.runs),
         static_cast<unsigned long long>(speed.coreCycles),
         double(speed.wallNanos) / 1e9, speed.cyclesPerSec(),
         static_cast<unsigned long long>(speed.tickedEdges),
-        static_cast<unsigned long long>(speed.skippedEdges));
+        static_cast<unsigned long long>(speed.skippedEdges),
+        static_cast<unsigned long long>(speed.fusedSpans),
+        static_cast<unsigned long long>(speed.fusedCycles));
     if (tickProfileEnabled()) {
         for (const auto &d : tickProfileTotals()) {
             err << csprintf(
@@ -537,6 +541,14 @@ printExecStats(std::ostream &err)
                 static_cast<unsigned long long>(d.ticks),
                 double(d.nanos) / 1e9, d.avgNanos());
         }
+        err << csprintf(
+            "bwsim: tick profile: fused-spans=%llu fused-cycles=%llu "
+            "avg-cycles-per-span=%.1f\n",
+            static_cast<unsigned long long>(speed.fusedSpans),
+            static_cast<unsigned long long>(speed.fusedCycles),
+            speed.fusedSpans
+                ? double(speed.fusedCycles) / double(speed.fusedSpans)
+                : 0.0);
     }
 }
 
@@ -598,16 +610,36 @@ struct PerfCase
     BenchmarkProfile profile;
     GpuConfig config;
     bool latencyProbe = false;
+    /** Congested-coverage case, excluded from the fig10 aggregate. */
+    bool congestedExtra = false;
 
     std::uint64_t coreCycles = 0;
     double lockstepSec = 0.0;
     double skipSec = 0.0;
+    /** Per-rep lockstep/skip wall-time ratios (the reps interleave the
+     *  two schedulers, so each ratio pairs adjacent-in-time runs). */
+    std::vector<double> ratios;
     std::uint64_t tickedEdges = 0;
     std::uint64_t skippedEdges = 0;
+    std::uint64_t fusedSpans = 0;
+    std::uint64_t fusedCycles = 0;
 
+    /**
+     * Median of the paired per-rep ratios: machine-speed drift that
+     * spans several consecutive runs skews a best-of-N quotient but
+     * cancels inside each adjacent pair, so the median is the stable
+     * cross-commit metric. Falls back to the best-of quotient when no
+     * pairs were recorded.
+     */
     double
     speedup() const
     {
+        if (!ratios.empty()) {
+            std::vector<double> r = ratios;
+            std::sort(r.begin(), r.end());
+            std::size_t n = r.size();
+            return n % 2 ? r[n / 2] : 0.5 * (r[n / 2 - 1] + r[n / 2]);
+        }
         return skipSec > 0.0 ? lockstepSec / skipSec : 0.0;
     }
 };
@@ -631,13 +663,16 @@ timeOneRun(PerfCase &pc, SchedulerMode mode)
     if (mode == SchedulerMode::Skip) {
         pc.tickedEdges = after.tickedEdges - before.tickedEdges;
         pc.skippedEdges = after.skippedEdges - before.skippedEdges;
+        pc.fusedSpans = after.fusedSpans - before.fusedSpans;
+        pc.fusedCycles = after.fusedCycles - before.fusedCycles;
     }
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
 /**
  * The `bwsim perf` harness: a pinned mini-sweep (three Fig. 10
- * benchmarks at shrink=16 on the baseline and fully-scaled configs)
+ * benchmarks at shrink=8 on the baseline and fully-scaled configs,
+ * plus shrunk bfs as the congested-backpressure coverage case)
  * plus the tiny-latency probe, each simulated under the lockstep and
  * cycle-skip schedulers with per-profile wall time, simulation rate
  * and edge counts written as JSON to @p out_path. Runs are
@@ -647,8 +682,8 @@ timeOneRun(PerfCase &pc, SchedulerMode mode)
 int
 runPerf(const std::string &out_path, std::ostream &out, std::ostream &err)
 {
-    constexpr int kReps = 3;
-    constexpr int kShrink = 16;
+    constexpr int kReps = 9;
+    constexpr int kShrink = 8;
     const SchedulerMode saved_mode = schedulerMode();
 
     std::vector<PerfCase> cases;
@@ -667,6 +702,26 @@ runPerf(const std::string &out_path, std::ostream &out, std::ostream &err)
             cases.push_back(std::move(pc));
         }
     }
+    // The congested coverage case: shrunk bfs exercises crossbar
+    // backpressure and the DRAM bus-sleep path. Labelled "congested:"
+    // and kept out of the fig10 aggregate so the summary numbers stay
+    // comparable across commits.
+    {
+        const BenchmarkProfile *p = findBenchmark("bfs");
+        bwsim_assert(p, "perf harness bench 'bfs' missing");
+        for (const char *cfg_name : {"baseline", "All"}) {
+            GpuConfig cfg;
+            bool ok = findConfigPreset(cfg_name, cfg);
+            bwsim_assert(ok, "perf harness config '%s' missing",
+                         cfg_name);
+            PerfCase pc;
+            pc.label = csprintf("congested:bfs/%s", cfg_name);
+            pc.profile = shrinkProfile(*p, kShrink);
+            pc.config = cfg;
+            pc.congestedExtra = true;
+            cases.push_back(std::move(pc));
+        }
+    }
     {
         PerfCase pc;
         pc.label = "latency-probe/baseline";
@@ -677,13 +732,13 @@ runPerf(const std::string &out_path, std::ostream &out, std::ostream &err)
     }
 
     for (auto &pc : cases) {
-        pc.lockstepSec = timeOneRun(pc, SchedulerMode::Lockstep);
-        pc.skipSec = timeOneRun(pc, SchedulerMode::Skip);
-        for (int rep = 1; rep < kReps; ++rep) {
-            pc.lockstepSec = std::min(
-                pc.lockstepSec, timeOneRun(pc, SchedulerMode::Lockstep));
-            pc.skipSec =
-                std::min(pc.skipSec, timeOneRun(pc, SchedulerMode::Skip));
+        for (int rep = 0; rep < kReps; ++rep) {
+            double ls = timeOneRun(pc, SchedulerMode::Lockstep);
+            double sk = timeOneRun(pc, SchedulerMode::Skip);
+            pc.lockstepSec = rep ? std::min(pc.lockstepSec, ls) : ls;
+            pc.skipSec = rep ? std::min(pc.skipSec, sk) : sk;
+            if (sk > 0.0)
+                pc.ratios.push_back(ls / sk);
         }
         err << csprintf(
             "bwsim: perf: %-24s %9llu cycles  lockstep %.4fs  "
@@ -702,7 +757,7 @@ runPerf(const std::string &out_path, std::ostream &out, std::ostream &err)
     for (const auto &pc : cases) {
         if (pc.latencyProbe) {
             probe_speedup = pc.speedup();
-        } else {
+        } else if (!pc.congestedExtra) {
             fig10_ls_sec += pc.lockstepSec;
             fig10_sk_sec += pc.skipSec;
             fig10_cycles += pc.coreCycles;
@@ -763,7 +818,8 @@ runPerf(const std::string &out_path, std::ostream &out, std::ostream &err)
             "    {\"name\": \"%s\", \"core_cycles\": %llu, "
             "\"lockstep\": {\"wall_sec\": %.6f, \"cycles_per_sec\": "
             "%.1f}, \"skip\": {\"wall_sec\": %.6f, \"cycles_per_sec\": "
-            "%.1f, \"ticked_edges\": %llu, \"skipped_edges\": %llu}, "
+            "%.1f, \"ticked_edges\": %llu, \"skipped_edges\": %llu, "
+            "\"fused_spans\": %llu, \"fused_cycles\": %llu}, "
             "\"speedup\": %.3f}%s\n",
             jsonEscape(pc.label).c_str(),
             static_cast<unsigned long long>(pc.coreCycles),
@@ -771,6 +827,8 @@ runPerf(const std::string &out_path, std::ostream &out, std::ostream &err)
             rate(pc.skipSec),
             static_cast<unsigned long long>(pc.tickedEdges),
             static_cast<unsigned long long>(pc.skippedEdges),
+            static_cast<unsigned long long>(pc.fusedSpans),
+            static_cast<unsigned long long>(pc.fusedCycles),
             pc.speedup(), i + 1 < cases.size() ? "," : "");
     }
     f << "  ],\n";

@@ -139,6 +139,8 @@ class DramChannel
     /**@{*/
     bool returnReady() const { return !returnQ.empty(); }
     MemFetch *returnFront() { return returnQ.front(); }
+    /** Head of the return queue without popping (horizon probes). */
+    const MemFetch *returnPeek() const { return returnQ.front(); }
     MemFetch *returnPop();
     /**@}*/
 
@@ -146,32 +148,47 @@ class DramChannel
     std::size_t schedQueueCapacity() const { return cfg.schedQueueEntries; }
 
     /**
-     * Quiescence horizon (cycle-skip scheduler): 0 while any request
-     * is queued (FR-FCFS attempts and pending-cycle accounting happen
-     * per tick), else the earliest write-drain or read-return
-     * retirement; landed returns wait on the L2 fill path, not on
-     * channel ticks.
+     * Quiescence horizon (cycle-skip scheduler). With an empty
+     * scheduler queue, the earliest write-drain or read-return
+     * retirement bounds the dead span (landed returns wait on the L2
+     * fill path, not on channel ticks). With requests queued, the
+     * bus-sleep scan computes the earliest cycle any FR-FCFS command
+     * can legally issue from the frozen bank/bus/channel gates: until
+     * then every tick only charges one pendingCycles, which
+     * skipCycles() integrates in bulk. Gates are absolute cycle
+     * stamps mutated only by issued commands; pushes arrive on
+     * interconnect ticks (which invalidate this horizon via the
+     * affects map), and in-channel read landings keep
+     * returnQ.size()+returnsInFlight constant, so a return-blocked
+     * read stays blocked for the whole span.
      */
     std::uint64_t horizon() const;
 
     /**
-     * Integrate @p n skipped command cycles. Only valid on a span the
-     * horizon declared dead: the scheduler queue is empty, so there
-     * are no pending-cycles and the occupancy sample is a no-op; bank
-     * and bus gates are absolute cycle stamps and need no adjustment.
+     * Integrate @p n skipped command cycles. On a bus-sleep span the
+     * queue occupancy is frozen nonzero and each tick charges exactly
+     * one pendingCycles, applied here in bulk. Returns true iff such
+     * fused charges were applied (false on a dead, empty-queue span).
      */
-    void
+    bool
     skipCycles(std::uint64_t n)
     {
         cycle += n;
         ctr.cycles += n;
+        if (queuedCount == 0)
+            return false;
+        ctr.pendingCycles += n;
+        return true;
     }
 
-    /** Sample scheduler-queue occupancy (the paper's Fig. 5 metric). */
+    /** Sample scheduler-queue occupancy (the paper's Fig. 5 metric)
+     *  for @p cycles consecutive cycles at the current (frozen)
+     *  occupancy. */
     void
-    sampleOccupancy(stats::OccupancyHist &hist) const
+    sampleOccupancy(stats::OccupancyHist &hist,
+                    std::uint64_t cycles = 1) const
     {
-        hist.sample(queuedCount, cfg.schedQueueEntries);
+        hist.sample(queuedCount, cfg.schedQueueEntries, cycles);
     }
 
     /** True when no request, burst or return is anywhere in flight. */

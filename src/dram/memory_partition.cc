@@ -190,54 +190,102 @@ MemoryPartition::l2Horizon() const
     };
     for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b) {
         const CacheModel &bank = *banks[b];
-        // A queued miss and an ejected request both trigger a per-tick
-        // attempt; a pending DRAM return may be a fill retry every
-        // cycle. All conservative: a refused attempt is a no-op tick.
-        if (!bank.missQueueEmpty())
-            return 0;
-        if (icnt->request().ejectReady(globalBankId(b)))
-            return 0;
-        if (bank.respQueueSize() > 0)
+        std::uint32_t gid = globalBankId(b);
+        // 1. A ready response injects into the reply network unless
+        // the port is full; the blocked injection is a pure no-op and
+        // only an interconnect tick (which invalidates this horizon)
+        // can free the port.
+        if (bank.respQueueSize() > 0 && icnt->reply().canAccept(gid))
             event(bank.respQueueFrontReady());
-        if (!accessQ[b].empty())
-            event(accessQ[b].frontReady());
+        // 3. A ready access-queue head with a valid stall memo replays
+        // exactly one countStall per tick: integrable, charged in
+        // bulk by skipL2(). An unmemoized attempt is observable.
+        if (!accessQ[b].empty()) {
+            if (accessQ[b].ready(l2Cycle + 1)) {
+                if (accessMemoVer[b] != bank.version())
+                    return 0;
+            } else {
+                event(accessQ[b].frontReady());
+            }
+        }
+        // 4. A queued miss drains unless the DRAM scheduler queue is
+        // full (ideal DRAM never back-pressures); the full case is a
+        // frozen no-op until a DRAM tick frees a slot.
+        if (!bank.missQueueEmpty() &&
+            (cfg.idealDram || channel->canAccept()))
+            return 0;
+        // 5. An ejected request is pulled unless the access queue is
+        // full; the full case is frozen until the head access drains.
+        if (icnt->request().ejectReady(gid) && !accessQ[b].full())
+            return 0;
         if (h == 0)
             return 0;
     }
+    // 2. Fill retries: an unmemoized attempt is observable; a
+    // memoized refusal is a frozen no-op until the bank mutates
+    // (which happens only on ticks that pin or invalidate above).
     if (cfg.idealDram) {
-        if (!idealPipe.empty())
-            event(idealPipe.frontReady());
+        if (!idealPipe.empty()) {
+            for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b)
+                if (fillMemoVer[b] != banks[b]->version()) {
+                    event(idealPipe.frontReady());
+                    break;
+                }
+        }
     } else if (channel->returnReady()) {
-        return 0;
+        const MemFetch *mf = channel->returnPeek();
+        for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b) {
+            if (static_cast<std::uint32_t>(mf->l2BankId) ==
+                    globalBankId(b) &&
+                fillMemoVer[b] != banks[b]->version()) {
+                return 0;
+            }
+        }
     }
     return h;
 }
 
-void
+bool
 MemoryPartition::skipL2(std::uint64_t n)
 {
+    bool fused = false;
+    for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b) {
+        // A memoized stall on a ready head replays one countStall per
+        // tick across the whole span: charge it in one shot.
+        if (accessQ[b].ready(l2Cycle + 1) &&
+            accessMemoVer[b] == banks[b]->version()) {
+            banks[b]->countStalls(
+                static_cast<CacheStallCause>(accessMemoCause[b]), n);
+            fused = true;
+        }
+    }
     l2Cycle += n;
     for (std::uint32_t b = 0; b < cfg.banksPerPartition; ++b)
         accessQHist.sample(accessQ[b].size(), accessQ[b].capacity(), n);
+    return fused;
 }
 
 std::uint64_t
 MemoryPartition::dramHorizon() const
 {
     // The ideal pipe lives on the L2 clock; DRAM ticks are pure
-    // counter increments there. With a real channel the scheduler
-    // queue must also be empty for the occupancy sample to be a no-op.
+    // counter increments there. The real channel computes its own
+    // bus-sleep horizon from the frozen bank/bus gates; the occupancy
+    // sample is frozen with it and integrated by skipDram().
     if (cfg.idealDram)
         return kInfiniteHorizon;
     return channel->horizon();
 }
 
-void
+bool
 MemoryPartition::skipDram(std::uint64_t n)
 {
     dramCycle += n;
-    if (!cfg.idealDram)
-        channel->skipCycles(n);
+    if (cfg.idealDram)
+        return false;
+    bool fused = channel->skipCycles(n);
+    channel->sampleOccupancy(dramQHist, n);
+    return fused;
 }
 
 void

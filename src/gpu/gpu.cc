@@ -49,10 +49,16 @@ Gpu::Gpu(const GpuConfig &config, const BenchmarkProfile &profile)
 
     clocks.domain(dramDomain)
         .setSkipHooks([this] { return memSys->dramHorizon(); },
-                      [this](std::uint64_t n) { memSys->dramSkip(n); });
+                      [this](std::uint64_t n) {
+                          if (memSys->dramSkip(n))
+                              recordFusedSpan(n);
+                      });
     clocks.domain(icntDomain)
         .setSkipHooks([this] { return memSys->icntHorizon(); },
-                      [this](std::uint64_t n) { memSys->icntSkip(n); });
+                      [this](std::uint64_t n) {
+                          if (memSys->icntSkip(n))
+                              recordFusedSpan(n);
+                      });
     clocks.domain(coreDomain)
         .setSkipHooks([this] { return coreQuiesceHorizon(); },
                       [this](std::uint64_t n) { coreSkip(n); });
@@ -167,18 +173,33 @@ Gpu::coreQuiesceHorizon()
 {
     // Cheapest rejections first: a busy core (memoized inside SmCore)
     // or a pending outgoing miss pins the horizon before the
-    // MemSystem's reply-readiness scan is consulted.
+    // MemSystem's reply-readiness scan is consulted. The scan starts
+    // at the core that vetoed last time -- an active core usually
+    // stays active, so a pinned horizon is rediscovered in one probe.
     std::uint64_t h = kInfiniteHorizon;
-    for (int c = 0; c < cfg.numCores; ++c) {
+    for (int i = 0; i < cfg.numCores; ++i) {
+        int c = lastCoreVeto + i;
+        if (c >= cfg.numCores)
+            c -= cfg.numCores;
         std::uint64_t ch = cores[c]->quiesceHorizon();
-        if (ch == 0)
+        if (ch == 0) {
+            lastCoreVeto = c;
             return 0;
+        }
         h = std::min(h, ch);
-        if (cores[c]->hasOutgoing())
+        // A pending outgoing miss only pins the horizon if the network
+        // can actually accept it: a blocked injection attempt is a
+        // pure no-op, frozen until an icnt tick frees the port (which
+        // invalidates this horizon via the affects map).
+        if (cores[c]->hasOutgoing() && !memSys->requestPortBlocked(c)) {
+            lastCoreVeto = c;
             return 0;
+        }
         std::uint64_t mh = memSys->coreHorizon(c, coreCycleCount);
-        if (mh == 0)
+        if (mh == 0) {
+            lastCoreVeto = c;
             return 0;
+        }
         h = std::min(h, mh);
     }
     return h;
@@ -188,8 +209,11 @@ void
 Gpu::coreSkip(std::uint64_t n)
 {
     coreCycleCount += n;
+    bool fused = false;
     for (int c = 0; c < cfg.numCores; ++c)
-        cores[c]->skipCycles(n);
+        fused |= cores[c]->skipCycles(n);
+    if (fused)
+        recordFusedSpan(n);
 }
 
 bool

@@ -119,6 +119,8 @@ class Gpu : public WorkSource
     MultiClock clocks;
     std::size_t coreDomain = 0, icntDomain = 0, dramDomain = 0;
     std::uint64_t coreCycleCount = 0;
+    /** Core that vetoed the last horizon probe; scanned first next. */
+    int lastCoreVeto = 0;
 
     /** Root of the stats tree; components register into it below. */
     stats::Group statsRoot{"gpu"};

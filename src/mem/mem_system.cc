@@ -189,6 +189,13 @@ NormalMemSystem::coreHorizon(int core_id, std::uint64_t) const
                : kInfiniteHorizon;
 }
 
+bool
+NormalMemSystem::requestPortBlocked(int core_id) const
+{
+    return !icnt->request().canAccept(
+        static_cast<std::uint32_t>(core_id));
+}
+
 std::uint64_t
 NormalMemSystem::icntHorizon() const
 {
@@ -201,13 +208,14 @@ NormalMemSystem::icntHorizon() const
     return h;
 }
 
-void
+bool
 NormalMemSystem::icntSkip(std::uint64_t n)
 {
     icntCycles += n;
-    icnt->skipCycles(n);
+    bool fused = icnt->skipCycles(n);
     for (auto &p : parts)
-        p->skipL2(n);
+        fused |= p->skipL2(n);
+    return fused;
 }
 
 std::uint64_t
@@ -222,12 +230,14 @@ NormalMemSystem::dramHorizon() const
     return h;
 }
 
-void
+bool
 NormalMemSystem::dramSkip(std::uint64_t n)
 {
     dramCycles += n;
+    bool fused = false;
     for (auto &p : parts)
-        p->skipDram(n);
+        fused |= p->skipDram(n);
+    return fused;
 }
 
 bool

@@ -76,12 +76,16 @@ class MemSystem
     /**
      * @name Quiescence horizons (cycle-skip scheduler)
      *
-     * How many upcoming ticks of each clock domain are guaranteed
-     * no-ops given current state. The defaults are maximally
-     * conservative (never skip), so an implementation that does not
-     * opt in stays correct under the skip scheduler. Skip callbacks
-     * integrate a dead span into per-cycle counters; they are only
-     * invoked on spans the matching horizon declared dead.
+     * How many upcoming ticks of each clock domain are provably
+     * integrable given current state: either observable no-ops, or
+     * fused spans whose only per-cycle effects are identical counter
+     * charges the matching skip callback reproduces in bulk. The
+     * defaults are maximally conservative (never skip), so an
+     * implementation that does not opt in stays correct under the
+     * skip scheduler. Skip callbacks integrate a span into per-cycle
+     * counters; they are only invoked on spans the matching horizon
+     * declared integrable, and return true iff they applied fused
+     * (non-trivial) charges.
      */
     /**@{*/
     /** Edges until this system could next act on @p core_id's tick
@@ -93,10 +97,23 @@ class MemSystem
         (void)core_cycle;
         return 0;
     }
+    /**
+     * True iff @p core_id's request injection port cannot accept a
+     * packet right now: a core with pending outgoing misses may keep
+     * skipping across such a span (the blocked injection attempt is a
+     * pure no-op, and only an icnt tick -- which invalidates the core
+     * horizon -- can free the port). The conservative default makes a
+     * pending miss always pin the horizon.
+     */
+    virtual bool requestPortBlocked(int core_id) const
+    {
+        (void)core_id;
+        return false;
+    }
     virtual std::uint64_t icntHorizon() const { return 0; }
     virtual std::uint64_t dramHorizon() const { return 0; }
-    virtual void icntSkip(std::uint64_t n) { (void)n; }
-    virtual void dramSkip(std::uint64_t n) { (void)n; }
+    virtual bool icntSkip(std::uint64_t n) { (void)n; return false; }
+    virtual bool dramSkip(std::uint64_t n) { (void)n; return false; }
     /**@}*/
 
     /** @name Introspection (null when the level is not modelled) */
@@ -130,10 +147,11 @@ class NormalMemSystem : public MemSystem
 
     std::uint64_t coreHorizon(int core_id,
                               std::uint64_t core_cycle) const override;
+    bool requestPortBlocked(int core_id) const override;
     std::uint64_t icntHorizon() const override;
     std::uint64_t dramHorizon() const override;
-    void icntSkip(std::uint64_t n) override;
-    void dramSkip(std::uint64_t n) override;
+    bool icntSkip(std::uint64_t n) override;
+    bool dramSkip(std::uint64_t n) override;
 
     Interconnect *interconnect() override { return icnt.get(); }
     MemoryPartition *
@@ -182,8 +200,8 @@ class IdealMemSystem : public MemSystem
                               std::uint64_t core_cycle) const override;
     std::uint64_t icntHorizon() const override { return kInfiniteHorizon; }
     std::uint64_t dramHorizon() const override { return kInfiniteHorizon; }
-    void icntSkip(std::uint64_t) override {}
-    void dramSkip(std::uint64_t) override {}
+    bool icntSkip(std::uint64_t) override { return false; }
+    bool dramSkip(std::uint64_t) override { return false; }
 
   private:
     /** Drain the core's misses and deliver matured responses. */

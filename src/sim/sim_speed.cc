@@ -40,6 +40,8 @@ struct Totals
     std::atomic<std::uint64_t> coreCycles{0};
     std::atomic<std::uint64_t> tickedEdges{0};
     std::atomic<std::uint64_t> skippedEdges{0};
+    std::atomic<std::uint64_t> fusedSpans{0};
+    std::atomic<std::uint64_t> fusedCycles{0};
     std::atomic<std::uint64_t> wallNanos{0};
 };
 
@@ -96,6 +98,14 @@ recordSimSpeed(std::uint64_t core_cycles, std::uint64_t ticked_edges,
     t.wallNanos.fetch_add(wall_nanos, std::memory_order_relaxed);
 }
 
+void
+recordFusedSpan(std::uint64_t fused_cycles)
+{
+    Totals &t = totals();
+    t.fusedSpans.fetch_add(1, std::memory_order_relaxed);
+    t.fusedCycles.fetch_add(fused_cycles, std::memory_order_relaxed);
+}
+
 SimSpeedTotals
 simSpeedTotals()
 {
@@ -105,6 +115,8 @@ simSpeedTotals()
     out.coreCycles = t.coreCycles.load(std::memory_order_relaxed);
     out.tickedEdges = t.tickedEdges.load(std::memory_order_relaxed);
     out.skippedEdges = t.skippedEdges.load(std::memory_order_relaxed);
+    out.fusedSpans = t.fusedSpans.load(std::memory_order_relaxed);
+    out.fusedCycles = t.fusedCycles.load(std::memory_order_relaxed);
     out.wallNanos = t.wallNanos.load(std::memory_order_relaxed);
     return out;
 }

@@ -49,6 +49,15 @@ struct SimSpeedTotals
     std::uint64_t coreCycles = 0;
     std::uint64_t tickedEdges = 0;
     std::uint64_t skippedEdges = 0;
+    /**
+     * Fused spans: skipped spans whose integration charged per-cycle
+     * counters in bulk (memoized stall replays, eject-blocked cycles,
+     * DRAM pending cycles) rather than being observable no-ops.
+     * fusedCycles counts the edges so integrated; every fused cycle is
+     * also in skippedEdges (fused is a subset marker, not disjoint).
+     */
+    std::uint64_t fusedSpans = 0;
+    std::uint64_t fusedCycles = 0;
     std::uint64_t wallNanos = 0;
 
     double
@@ -63,6 +72,12 @@ struct SimSpeedTotals
 /** Record one completed simulation (thread-safe). */
 void recordSimSpeed(std::uint64_t core_cycles, std::uint64_t ticked_edges,
                     std::uint64_t skipped_edges, std::uint64_t wall_nanos);
+
+/**
+ * Record one fused span: a flush of @p fused_cycles skipped edges in
+ * one domain that charged per-cycle counters in bulk (thread-safe).
+ */
+void recordFusedSpan(std::uint64_t fused_cycles);
 
 SimSpeedTotals simSpeedTotals();
 

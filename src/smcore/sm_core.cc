@@ -17,6 +17,7 @@ SmCore::SmCore(const CoreParams &params, MemFetchAllocator *allocator)
       headOp(params.maxWarps, 0),
       headDest(params.maxWarps, -1),
       headSrc(params.maxWarps, -1),
+      warpPendingLsu(params.maxWarps, 0),
       schedList(params.numSchedulers),
       ctas(params.maxCtasResident),
       scoreboard(params.maxWarps),
@@ -107,15 +108,24 @@ SmCore::syncHead(int warp)
 }
 
 void
-SmCore::updateFetchBit(int warp)
+SmCore::updateWarpBits(int warp)
 {
-    bool eligible = wflags[warp] == WfInUse &&
-                    int(ibufCnt[warp]) < cfg.ibufferEntries;
     std::uint64_t bit = std::uint64_t(1) << warp;
-    if (eligible)
-        fetchEligible |= bit;
-    else
-        fetchEligible &= ~bit;
+    std::uint8_t f = wflags[warp];
+    bool live = f & WfInUse;
+    bool eligible = f == WfInUse &&
+                    int(ibufCnt[warp]) < cfg.ibufferEntries;
+    fetchEligible = eligible ? (fetchEligible | bit)
+                             : (fetchEligible & ~bit);
+    bool decoded = live && ibufCnt[warp] > 0;
+    decodedMask = decoded ? (decodedMask | bit) : (decodedMask & ~bit);
+    bool unfetched = live && (!(f & WfCursorDone) ||
+                              (f & WfWaitingIFetch));
+    unfetchedMask = unfetched ? (unfetchedMask | bit)
+                              : (unfetchedMask & ~bit);
+    bool mem_pending = live && warpPendingLsu[warp] > 0;
+    memPendingMask = mem_pending ? (memPendingMask | bit)
+                                 : (memPendingMask & ~bit);
 }
 
 void
@@ -157,11 +167,11 @@ SmCore::maybeDispatchCtas()
             warp.ibuf.clear();
             warp.ctaSlot = cta_slot;
             warp.age = ageCounter++;
-            warp.pendingLsuSlots = 0;
+            warpPendingLsu[w] = 0;
             wflags[w] = WfInUse |
                         (warp.cursor->done() ? WfCursorDone : 0);
             ibufCnt[w] = 0;
-            updateFetchBit(w);
+            updateWarpBits(w);
             ++liveWarps;
             ++launched;
         }
@@ -193,7 +203,7 @@ SmCore::fetchStage(double now_ps)
     if (fetchMemoVer[w] == l1iCache->version()) {
         l1iCache->countStall(
             static_cast<CacheStallCause>(fetchMemoCause[w]));
-        updateFetchBit(w);
+        updateWarpBits(w);
         fetchPtr = (w + 1) % int(warps.size());
         return;
     }
@@ -244,7 +254,7 @@ SmCore::fetchStage(double now_ps)
         wflags[w] |= WfWaitingIFetch;
     }
     // On a stall outcome the I-cache counted the cause; retry later.
-    updateFetchBit(w);
+    updateWarpBits(w);
     fetchPtr = (w + 1) % int(warps.size());
 }
 
@@ -266,7 +276,8 @@ SmCore::allocPendingOp(int warp, bool write, int dest_reg,
     p.write = write;
     p.destReg = dest_reg;
     p.remaining = n_accesses;
-    ++warps[warp].pendingLsuSlots;
+    ++warpPendingLsu[warp];
+    updateWarpBits(warp);
     return idx;
 }
 
@@ -323,7 +334,7 @@ SmCore::popIbufHead(int warp)
     } else {
         syncHead(warp);
     }
-    updateFetchBit(warp);
+    updateWarpBits(warp);
 }
 
 void
@@ -489,9 +500,10 @@ SmCore::pendingAccessDone(int pending_idx)
     // returns).
     if (!p.write && p.destReg >= 0)
         scoreboard.clear(p.warpId, p.destReg);
-    bwsim_assert(warps[p.warpId].pendingLsuSlots > 0,
+    bwsim_assert(warpPendingLsu[p.warpId] > 0,
                  "warp LSU accounting underflow");
-    --warps[p.warpId].pendingLsuSlots;
+    --warpPendingLsu[p.warpId];
+    updateWarpBits(p.warpId);
     p.valid = false;
     pendingFree.push_back(pending_idx);
     retireDirty = true;
@@ -511,17 +523,7 @@ SmCore::memStage(double now_ps)
         return;
 
     // Present the oldest buffered access to the L1D (one per cycle).
-    int oldest = -1;
-    std::uint64_t best_seq = ~std::uint64_t(0);
-    for (int i = 0; i < int(lsu.size()); ++i) {
-        const LsuSlot &s = lsu[i];
-        if (!s.valid)
-            continue;
-        if (s.seq < best_seq) {
-            best_seq = s.seq;
-            oldest = i;
-        }
-    }
+    int oldest = oldestLsuSlot();
     if (oldest < 0)
         return;
 
@@ -591,6 +593,23 @@ SmCore::memStage(double now_ps)
     }
 }
 
+int
+SmCore::oldestLsuSlot() const
+{
+    int oldest = -1;
+    std::uint64_t best_seq = ~std::uint64_t(0);
+    for (int i = 0; i < int(lsu.size()); ++i) {
+        const LsuSlot &s = lsu[i];
+        if (!s.valid)
+            continue;
+        if (s.seq < best_seq) {
+            best_seq = s.seq;
+            oldest = i;
+        }
+    }
+    return oldest;
+}
+
 void
 SmCore::retireFinishedWarps()
 {
@@ -601,10 +620,10 @@ SmCore::retireFinishedWarps()
         if (wflags[w] != (WfInUse | WfCursorDone) || ibufCnt[w] != 0)
             continue;
         Warp &warp = warps[w];
-        if (warp.pendingLsuSlots > 0 || scoreboard.anyPending(w))
+        if (warpPendingLsu[w] > 0 || scoreboard.anyPending(w))
             continue;
         wflags[w] = 0;
-        updateFetchBit(w);
+        updateWarpBits(w);
         warp.cursor.reset();
         --liveWarps;
         ++ctr.warpsCompleted;
@@ -646,17 +665,8 @@ SmCore::classifyStallCycle()
     } else {
         // Nothing decoded anywhere: fetch-starved, unless every live
         // warp is merely draining its last memory/ALU operations.
-        bool any_unfetched = false;
-        bool any_mem_pending = false;
-        for (int w = 0; w < int(warps.size()); ++w) {
-            std::uint8_t f = wflags[w];
-            if (!(f & WfInUse))
-                continue;
-            if (!(f & WfCursorDone) || (f & WfWaitingIFetch))
-                any_unfetched = true;
-            if (warps[w].pendingLsuSlots > 0)
-                any_mem_pending = true;
-        }
+        bool any_unfetched = (unfetchedMask != 0);
+        bool any_mem_pending = (memPendingMask != 0);
         if (any_unfetched)
             cause = IssueStall::Fetch;
         else if (any_mem_pending)
@@ -708,27 +718,60 @@ SmCore::quiesceHorizon()
 std::uint64_t
 SmCore::computeQuiesceHorizon()
 {
-    // Any stage that could act on the very next tick pins the horizon
-    // at 0: dispatch, a retire scan, a fetch attempt (the I-cache
-    // counts even stalled attempts), a buffered LSU access (ditto for
-    // the L1D), or the finish latch.
+    // Any stage that could act on the very next tick in a way a bulk
+    // charge cannot reproduce pins the horizon at 0: dispatch, a
+    // retire scan, or the finish latch.
     if (source && activeCtas < cfg.maxCtasResident && source->hasWork())
         return 0;
-    if (retireDirty || fetchEligible != 0 || lsuOccupied > 0)
+    if (retireDirty)
         return 0;
     if (!finishedLatched && done())
         return 0;
+
+    // A buffered LSU access whose stall cause is memoized against the
+    // current L1D version is a fused span: each skipped cycle is
+    // exactly one replayed countStall() on the oldest slot, charged in
+    // bulk by skipCycles(). An unmemoized (or stale) access must tick
+    // to re-probe.
+    if (lsuOccupied > 0) {
+        int oldest = oldestLsuSlot();
+        const LsuSlot &s = lsu[oldest];
+        if (!(memRetryValid && l1dCache->version() == memRetryVer &&
+              s.seq == memRetrySeq && s.nextIdx == memRetryIdx)) {
+            return 0;
+        }
+    }
+
+    // Likewise for fetch: the round-robin scan visits only eligible
+    // warps, so if every one of them has a memoized stall against the
+    // current L1I version, each skipped cycle is one replayed
+    // countStall() for the warp the rotation lands on -- integrable in
+    // closed form (see integrateFetchRotation). Any eligible warp
+    // without a valid memo must tick to probe the I-cache.
+    if (fetchEligible != 0) {
+        for (std::uint64_t m = fetchEligible; m; m &= m - 1) {
+            if (fetchMemoVer[__builtin_ctzll(m)] != l1iCache->version())
+                return 0;
+        }
+    }
 
     // Dry-run the issue scan on the compact head mirrors. If any
     // decoded warp can issue, the tick must run. Otherwise the scan
     // reproduces exactly the saw-flags a zero-issue issueStage() would
     // set from this (frozen) state, feeding the stall classification.
+    // When the batched-retry memo is clean (!issueDirty), the last
+    // real scan already issued nothing from this same state and its
+    // saw-flags are current: reuse them and skip the dry-run entirely.
     bool saw_struct_mem = false, saw_struct_alu = false;
     bool saw_data_mem = false, saw_data_alu = false;
-    if (decodedWarps > 0) {
-        for (int w = 0; w < int(warps.size()); ++w) {
-            if (!(wflags[w] & WfInUse) || ibufCnt[w] == 0)
-                continue;
+    if (!issueDirty) {
+        saw_struct_mem = sawStructMem;
+        saw_struct_alu = sawStructAlu;
+        saw_data_mem = sawDataMem;
+        saw_data_alu = sawDataAlu;
+    } else if (decodedWarps > 0) {
+        for (std::uint64_t m = decodedMask; m; m &= m - 1) {
+            int w = __builtin_ctzll(m);
             PendingKind blocked;
             if (!scoreboard.canIssueRegs(w, headSrc[w], headDest[w],
                                          blocked)) {
@@ -776,17 +819,8 @@ SmCore::computeQuiesceHorizon()
         else
             cause = IssueStall::Fetch;
     } else {
-        bool any_unfetched = false;
-        bool any_mem_pending = false;
-        for (int w = 0; w < int(warps.size()); ++w) {
-            std::uint8_t f = wflags[w];
-            if (!(f & WfInUse))
-                continue;
-            if (!(f & WfCursorDone) || (f & WfWaitingIFetch))
-                any_unfetched = true;
-            if (warps[w].pendingLsuSlots > 0)
-                any_mem_pending = true;
-        }
+        bool any_unfetched = (unfetchedMask != 0);
+        bool any_mem_pending = (memPendingMask != 0);
         if (any_unfetched)
             cause = IssueStall::Fetch;
         else if (any_mem_pending)
@@ -816,18 +850,65 @@ SmCore::computeQuiesceHorizon()
 }
 
 void
+SmCore::integrateFetchRotation(std::uint64_t n)
+{
+    // Reproduce n iterations of the fetch round-robin in closed form:
+    // each cycle visits the first eligible warp at or after fetchPtr
+    // (wrapping), replays its memoized stall, and advances fetchPtr
+    // past it. With eligibility frozen, the visit sequence walks the
+    // eligible set in circular ascending order, so warp i of the
+    // rotation gets floor(n/m) or ceil(n/m) replayed stalls.
+    int order[64];
+    int m = 0;
+    for (std::uint64_t mask = fetchEligible; mask; mask &= mask - 1)
+        order[m++] = __builtin_ctzll(mask);
+    int k0 = 0;
+    while (k0 < m && order[k0] < fetchPtr)
+        ++k0;
+    if (k0 == m)
+        k0 = 0;
+    for (int i = 0; i < m; ++i) {
+        std::uint64_t q =
+            n / m + (std::uint64_t(i) < n % std::uint64_t(m) ? 1 : 0);
+        if (q == 0)
+            break; // later rotation positions get even fewer visits
+        int w = order[(k0 + i) % m];
+        l1iCache->countStalls(
+            static_cast<CacheStallCause>(fetchMemoCause[w]), q);
+    }
+    int last = order[(k0 + int((n - 1) % std::uint64_t(m))) % m];
+    fetchPtr = (last + 1) % int(warps.size());
+}
+
+bool
 SmCore::skipCycles(std::uint64_t n)
 {
     cycle += n;
     ctr.cycles += n;
     if (!finishedLatched)
         ctr.activeCycles += n;
-    // No issue is possible on a dead span, so every cycle classifies
-    // as the frozen stall cause (or as idle with no warps resident).
+    // No issue is possible on a skipped span, so every cycle
+    // classifies as the frozen stall cause (or as idle with no warps
+    // resident).
     if (liveWarps > 0)
         ctr.issueStalls[static_cast<unsigned>(skipStallCause)] += n;
+    // Fused charges: the horizon only reported this span because the
+    // memoized retries below were valid, and no state they consult can
+    // have changed since (skips are flushed before any tick at the
+    // next executed instant), so re-deriving from live state replays
+    // exactly what n lockstep ticks would have counted.
+    bool fused = false;
+    if (lsuOccupied > 0) {
+        l1dCache->countStalls(memRetryCause, n);
+        fused = true;
+    }
+    if (fetchEligible != 0) {
+        integrateFetchRotation(n);
+        fused = true;
+    }
     if (qhValid && qhCache != kInfiniteHorizon)
         qhCache = qhCache > n ? qhCache - n : 0;
+    return fused;
 }
 
 bool
@@ -907,7 +988,7 @@ SmCore::deliverResponse(MemFetch *mf, double now_ps)
             bwsim_assert(wflags[w.warpId] & WfWaitingIFetch,
                          "I-fetch wake for a warp that is not waiting");
             wflags[w.warpId] &= ~WfWaitingIFetch;
-            updateFetchBit(w.warpId);
+            updateWarpBits(w.warpId);
         } else {
             pendingAccessDone(w.slotId);
         }

@@ -158,21 +158,29 @@ class SmCore
 
     /**
      * Quiescence horizon (cycle-skip scheduler): how many upcoming
-     * ticks are guaranteed no-ops. 0 whenever any stage could act next
-     * cycle -- CTA dispatch, retirement, a fetch attempt, a buffered
-     * LSU access, an issuable decoded instruction, or the finish
-     * latch -- else the earliest ALU/SFU/L1-hit pipe completion.
+     * ticks are provably integrable by skipCycles(). 0 whenever a tick
+     * could change state in a way a bulk charge cannot reproduce --
+     * CTA dispatch, retirement, an unmemoized fetch or LSU attempt, an
+     * issuable decoded instruction, or the finish latch -- else the
+     * earliest ALU/SFU/L1-hit pipe completion. A fetch attempt or
+     * buffered LSU access whose stall cause is memoized against the
+     * current cache version is NOT a pin: each such cycle is a known
+     * counter increment, so the span stays skippable (fused) and
+     * skipCycles() charges the increments in one shot.
      * Also precomputes the (frozen) per-cycle stall classification the
      * skipped span will be attributed to by skipCycles().
      */
     std::uint64_t quiesceHorizon();
 
     /**
-     * Integrate @p n skipped cycles: cycle/active-cycle counters plus
-     * the frozen issue-stall attribution quiesceHorizon() stashed.
-     * Valid only on a span the horizon declared dead.
+     * Integrate @p n skipped cycles: cycle/active-cycle counters, the
+     * frozen issue-stall attribution quiesceHorizon() stashed, plus
+     * the memoized per-cycle L1D/L1I stall replays of a fused span
+     * (including the fetch round-robin rotation, integrated in closed
+     * form). Valid only on a span the horizon declared integrable.
+     * Returns true iff fused (memoized) charges were applied.
      */
-    void skipCycles(std::uint64_t n);
+    bool skipCycles(std::uint64_t n);
 
     /** All CTAs issued to this core have retired and pipes are empty. */
     bool done() const;
@@ -197,7 +205,6 @@ class SmCore
         std::deque<WarpInstData> ibuf;
         int ctaSlot = -1;
         std::uint64_t age = 0;
-        std::uint32_t pendingLsuSlots = 0;
     };
 
     /** Compact per-warp flags mirrored from Warp (hot-path scans). */
@@ -257,6 +264,8 @@ class SmCore
     void rebuildSchedLists();
     void popIbufHead(int warp);
     std::uint64_t computeQuiesceHorizon();
+    int oldestLsuSlot() const;
+    void integrateFetchRotation(std::uint64_t n);
 
     CoreParams cfg;
     MemFetchAllocator *alloc;
@@ -273,15 +282,33 @@ class SmCore
     std::vector<std::uint8_t> headOp;
     std::vector<std::int16_t> headDest;
     std::vector<std::int16_t> headSrc;
+    /** Outstanding memory instructions per warp (SoA: the stall
+     *  classification and retire scans never touch struct Warp). */
+    std::vector<std::uint32_t> warpPendingLsu;
+    /** @name Packed per-warp state (SoA hot-scan masks)
+     *  The per-cycle scans (fetch arbitration, issue dry-run, stall
+     *  classification) walk these bitmasks with ctz loops instead of
+     *  striding over the Warp array. Every mask is updated at the
+     *  same mutation points that maintain wflags/ibufCnt (see
+     *  updateWarpBits). */
+    /**@{*/
     /** Bit w set iff warp w may attempt a fetch this cycle. */
     std::uint64_t fetchEligible = 0;
+    /** Bit w set iff warp w is in use with a non-empty I-buffer. */
+    std::uint64_t decodedMask = 0;
+    /** Bit w set iff warp w is live and still fetching (cursor not
+     *  done, or parked on an I-cache miss). */
+    std::uint64_t unfetchedMask = 0;
+    /** Bit w set iff warp w is live with outstanding memory ops. */
+    std::uint64_t memPendingMask = 0;
+    /**@}*/
     int liveWarps = 0;
     int decodedWarps = 0; ///< warps with a non-empty I-buffer
     bool retireDirty = false;
     bool schedListDirty = true;
     std::vector<std::vector<int>> schedList; ///< per-sched, age order
     void syncHead(int warp);
-    void updateFetchBit(int warp);
+    void updateWarpBits(int warp);
 
     std::vector<CtaSlot> ctas;
     int activeCtas = 0;

@@ -135,7 +135,22 @@ firstDiff(const std::string &a, const std::string &b)
 TEST(CongestedEquiv, SchedulerModesProduceByteIdenticalStats)
 {
     const std::string lock = dumpUnder(SchedulerMode::Lockstep);
+    const SimSpeedTotals before = simSpeedTotals();
     const std::string skip = dumpUnder(SchedulerMode::Skip);
+    const SimSpeedTotals after = simSpeedTotals();
+
+    // The skip run must have exercised span *fusion* -- spans whose
+    // integration bulk-charged per-cycle counters -- not just no-op
+    // dead edges. A congested run with zero fused spans means the
+    // fusion machinery silently stopped engaging, and this suite would
+    // be certifying equivalence of a path nobody takes.
+    EXPECT_GT(after.fusedSpans, before.fusedSpans)
+        << "skip run fused no spans: congested cycles never integrated";
+    EXPECT_GT(after.fusedCycles, before.fusedCycles)
+        << "skip run integrated no fused cycles";
+    EXPECT_GE(after.skippedEdges - before.skippedEdges,
+              after.fusedCycles - before.fusedCycles)
+        << "fused cycles must be a subset of skipped edges";
 
     // The run must actually be congested, or this test proves nothing.
     // Every backpressure mechanism the fast paths touch has to have

@@ -27,13 +27,19 @@ perf_check = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(perf_check)
 
 
-def report(rates, probe=2.0):
-    """Build a minimal perf report: {profile name: skip rate}."""
+def report(rates, probe=2.0, speedups=None):
+    """Build a minimal perf report: {profile name: skip rate}.
+
+    @p speedups optionally maps profile names to a skip-vs-lockstep
+    "speedup" field (the median-of-ratios the harness emits).
+    """
     return {
         "commit": "test",
         "host": {"machine": "test"},
         "profiles": [
-            {"name": name, "skip": {"cycles_per_sec": rate}}
+            {"name": name, "skip": {"cycles_per_sec": rate},
+             **({"speedup": speedups[name]}
+                if speedups and name in speedups else {})}
             for name, rate in rates.items()
         ],
         "summary": {"latency_probe_speedup": probe},
@@ -57,6 +63,7 @@ class PerfCheckTest(unittest.TestCase):
             saved_argv = sys.argv
             saved_env = {k: os.environ.get(k)
                          for k in ("BWSIM_PERF_THRESHOLD",
+                                   "BWSIM_PERF_SKIP_TOLERANCE",
                                    "BWSIM_PERF_SOFT")}
             out = io.StringIO()
             try:
@@ -153,6 +160,68 @@ class PerfCheckTest(unittest.TestCase):
                                      report({"mm": 100.0}))
             self.assertEqual(rc, 0, f"probe {bad!r} should be skipped")
             self.assertIn("latency probe speedup skipped", out)
+
+    def test_skip_slower_than_lockstep_fails(self):
+        rc, out = self.run_check(
+            report({"mm": 100.0}, speedups={"mm": 0.7}),
+            report({"mm": 100.0}))
+        self.assertEqual(rc, 1)
+        self.assertIn("SLOWER THAN LOCKSTEP", out)
+
+    def test_skip_within_tolerance_passes(self):
+        # 0.90x is inside the default 15% tolerance.
+        rc, out = self.run_check(
+            report({"mm": 100.0}, speedups={"mm": 0.90}),
+            report({"mm": 100.0}))
+        self.assertEqual(rc, 0)
+        self.assertNotIn("SLOWER THAN LOCKSTEP", out)
+
+    def test_skip_tolerance_env_respected(self):
+        rc, _ = self.run_check(
+            report({"mm": 100.0}, speedups={"mm": 0.90}),
+            report({"mm": 100.0}),
+            env={"BWSIM_PERF_SKIP_TOLERANCE": "0.05"})
+        self.assertEqual(rc, 1)
+        rc, _ = self.run_check(
+            report({"mm": 100.0}, speedups={"mm": 0.70}),
+            report({"mm": 100.0}),
+            env={"BWSIM_PERF_SKIP_TOLERANCE": "0.40"})
+        self.assertEqual(rc, 0)
+
+    def test_skip_check_soft_mode(self):
+        rc, out = self.run_check(
+            report({"mm": 100.0}, speedups={"mm": 0.5}),
+            report({"mm": 100.0}),
+            env={"BWSIM_PERF_SOFT": "1"})
+        self.assertEqual(rc, 0)
+        self.assertIn("not failing the build", out)
+
+    def test_skip_check_rate_fallback(self):
+        # Old reports carry no "speedup" field; fall back to the
+        # best-of rate ratio when both mode rates are present.
+        fresh = report({"mm": 50.0})
+        fresh["profiles"][0]["lockstep"] = {"cycles_per_sec": 100.0}
+        rc, out = self.run_check(fresh, report({"mm": 50.0}))
+        self.assertEqual(rc, 1)
+        self.assertIn("SLOWER THAN LOCKSTEP", out)
+
+    def test_skip_check_degenerate_row_skipped(self):
+        # No speedup field and no lockstep rate: nothing to compare.
+        rc, out = self.run_check(report({"mm": 100.0}),
+                                 report({"mm": 100.0}))
+        self.assertEqual(rc, 0)
+        self.assertIn("skip-vs-lockstep skipped", out)
+
+    def test_skip_speedup_helper(self):
+        self.assertEqual(
+            perf_check.skip_speedup({"speedup": 1.5}), 1.5)
+        self.assertEqual(
+            perf_check.skip_speedup(
+                {"lockstep": {"cycles_per_sec": 100.0},
+                 "skip": {"cycles_per_sec": 50.0}}), 0.5)
+        self.assertIsNone(perf_check.skip_speedup({}))
+        self.assertIsNone(
+            perf_check.skip_speedup({"speedup": math.nan}))
 
     def test_usable_rate_predicate(self):
         self.assertTrue(perf_check.usable_rate(1.0))
