@@ -110,6 +110,76 @@ smoke() {
         exit 1
     }
 
+    echo "smoke: trace workloads (pack, replay parity, queue backend)"
+    # Pack the checked-in golden trace; text and binary must agree on
+    # the content hash (their shared cache identity).
+    trace_src=tests/golden/replay.trace
+    ./build/bwsim trace pack "$trace_src" "$smoke_tmp/replay.bwtr" \
+        > "$smoke_tmp/pack.out"
+    ./build/bwsim trace info "$trace_src" \
+        | grep 'content-hash' > "$smoke_tmp/hash-text.out"
+    ./build/bwsim trace info "$smoke_tmp/replay.bwtr" \
+        | grep 'content-hash' > "$smoke_tmp/hash-bin.out"
+    cmp "$smoke_tmp/hash-text.out" "$smoke_tmp/hash-bin.out" || {
+        echo "smoke FAIL: trace pack changed the content hash" >&2
+        exit 1
+    }
+    # Replay is bit-identical across scheduler modes and the --jobs
+    # fork-merge path, exactly like synthetic workloads.
+    trace_args="fig4 --trace=$smoke_tmp/replay.bwtr --threads=2"
+    ./build/bwsim $trace_args --scheduler=lockstep \
+        > "$smoke_tmp/trace-lock.out"
+    ./build/bwsim $trace_args --scheduler=skip \
+        > "$smoke_tmp/trace-skip.out"
+    cmp "$smoke_tmp/trace-lock.out" "$smoke_tmp/trace-skip.out" || {
+        echo "smoke FAIL: trace replay differs across schedulers" >&2
+        exit 1
+    }
+    ./build/bwsim $trace_args --jobs=2 \
+        --cache-dir="$smoke_tmp/trace-jobs" \
+        > "$smoke_tmp/trace-jobs.out"
+    cmp "$smoke_tmp/trace-lock.out" "$smoke_tmp/trace-jobs.out" || {
+        echo "smoke FAIL: --jobs=2 trace replay differs from the" \
+             "single-process run" >&2
+        exit 1
+    }
+    # A queue job embeds the trace records, so one worker with no
+    # access to the original file replays it bit-identically.
+    tspool="$smoke_tmp/trace-spool"
+    ./build/bwsim --worker --spool-dir="$tspool" \
+        2> "$smoke_tmp/trace-worker.err" &
+    trace_worker=$!
+    trace_queue_rc=0
+    timeout 300 ./build/bwsim $trace_args --backend=queue \
+        --spool-dir="$tspool" --cache-dir="$smoke_tmp/trace-cache" \
+        > "$smoke_tmp/trace-queue.out" 2> "$smoke_tmp/trace-queue.err" \
+        || trace_queue_rc=$?
+    : > "$tspool/stop"
+    wait "$trace_worker" || {
+        echo "smoke FAIL: the trace queue worker exited non-zero" >&2
+        exit 1
+    }
+    [ "$trace_queue_rc" -eq 0 ] || {
+        echo "smoke FAIL: the --backend=queue trace replay failed:" >&2
+        cat "$smoke_tmp/trace-queue.err" >&2
+        exit 1
+    }
+    cmp "$smoke_tmp/trace-lock.out" "$smoke_tmp/trace-queue.out" || {
+        echo "smoke FAIL: --backend=queue trace replay differs from" \
+             "the single-process run" >&2
+        exit 1
+    }
+    # Warm replay of the *text* trace against the cache the *packed*
+    # run just filled: content addressing must make it free.
+    ./build/bwsim fig4 --trace="$trace_src" --threads=2 \
+        --cache-dir="$smoke_tmp/trace-cache" --exec-stats \
+        > "$smoke_tmp/trace-warm.out" 2> "$smoke_tmp/trace-warm.err"
+    if ! grep -q 'sims=0 ' "$smoke_tmp/trace-warm.err"; then
+        echo "smoke FAIL: warm trace replay re-simulated:" >&2
+        cat "$smoke_tmp/trace-warm.err" >&2
+        exit 1
+    fi
+
     echo "smoke: --format=json parses and --dump-stats names the tree"
     ./build/bwsim fig4 --benches=bfs,lbm --shrink=16 --threads=2 \
         --format=json > "$smoke_tmp/json.out"

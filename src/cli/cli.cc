@@ -18,6 +18,7 @@
 #include "sim/sim_speed.hh"
 #include "sim/tick_profile.hh"
 #include "stats/table.hh"
+#include "workloads/trace_source.hh"
 
 #ifdef __unix__
 #include <fcntl.h>
@@ -328,7 +329,7 @@ runAblation(const exp::ExperimentOptions &opts, std::ostream &os)
 
     std::vector<std::string> headers{"knob", "type"};
     for (const auto &p : profiles)
-        headers.push_back(p.name);
+        headers.push_back(p.name());
     stats::TextTable t(headers);
     std::size_t stride = knobs.size() + 1;
     for (std::size_t k = 0; k < knobs.size(); ++k) {
@@ -353,7 +354,14 @@ printUsage(std::ostream &os)
           "\n"
           "options:\n"
           "  --list            list registered experiments and exit\n"
-          "  --benches=A,B,..  benchmark subset (paper abbreviations)\n"
+          "  --benches=A,B,..  benchmark subset: paper abbreviations\n"
+          "                    and/or generator probes\n"
+          "                    pchase[:REGION[:INSTS]] (pointer-chase\n"
+          "                    latency) and stride[:STRIDE[:REGION]]\n"
+          "                    (bandwidth sweep); sizes take k/m/g\n"
+          "  --trace=FILE      replay a memory trace (text 'type addr'\n"
+          "                    lines or `bwsim trace pack` binary) as\n"
+          "                    the workload; cached by content hash\n"
           "  --threads=N       host threads for the parallel runner\n"
           "  --shrink=K        divide workload size by K (quick runs)\n"
           "  --format=F        table output: text (default), csv, tsv,\n"
@@ -412,6 +420,11 @@ printUsage(std::ostream &os)
           "  --perf-out=FILE   where `bwsim perf` writes its JSON\n"
           "                    report (default BENCH_fig10.json)\n"
           "  --help            this message\n"
+          "\n"
+          "Subcommands: `bwsim trace pack IN OUT` converts a trace to\n"
+          "the compact binary encoding (same content hash, so warm\n"
+          "caches stay warm) and `bwsim trace info FILE` prints its\n"
+          "records, content hash and workload key.\n"
           "\n"
           "As well as experiments, the name `perf` runs the pinned\n"
           "perf-benchmark harness: a shrunk Fig. 10 mini-sweep plus a\n"
@@ -491,7 +504,7 @@ runDumpStats(const exp::ExperimentOptions &opts,
             out << "\n";
         Gpu gpu(cfg, profiles[i]);
         gpu.run();
-        out << "# stats: benchmark=" << profiles[i].name
+        out << "# stats: benchmark=" << profiles[i].name()
             << " config=" << cfg.name << "\n";
         gpu.dumpStats(out);
     }
@@ -603,11 +616,11 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-/** One (profile, config) pair timed under both schedulers. */
+/** One (workload, config) pair timed under both schedulers. */
 struct PerfCase
 {
     std::string label;
-    BenchmarkProfile profile;
+    WorkloadSpec profile;
     GpuConfig config;
     bool latencyProbe = false;
     /** Congested-coverage case, excluded from the fig10 aggregate. */
@@ -815,13 +828,15 @@ runPerf(const std::string &out_path, std::ostream &out, std::ostream &err)
             return static_cast<double>(pc.coreCycles) / sec;
         };
         f << csprintf(
-            "    {\"name\": \"%s\", \"core_cycles\": %llu, "
+            "    {\"name\": \"%s\", \"workload_key\": \"%s\", "
+            "\"core_cycles\": %llu, "
             "\"lockstep\": {\"wall_sec\": %.6f, \"cycles_per_sec\": "
             "%.1f}, \"skip\": {\"wall_sec\": %.6f, \"cycles_per_sec\": "
             "%.1f, \"ticked_edges\": %llu, \"skipped_edges\": %llu, "
             "\"fused_spans\": %llu, \"fused_cycles\": %llu}, "
             "\"speedup\": %.3f}%s\n",
             jsonEscape(pc.label).c_str(),
+            workloadKeyTag(pc.profile).c_str(),
             static_cast<unsigned long long>(pc.coreCycles),
             pc.lockstepSec, rate(pc.lockstepSec), pc.skipSec,
             rate(pc.skipSec),
@@ -846,6 +861,73 @@ runPerf(const std::string &out_path, std::ostream &out, std::ostream &err)
                     "latency probe %.2fx)\n",
                     out_path.c_str(), fig10_speedup, probe_speedup);
     return 0;
+}
+
+/**
+ * The `bwsim trace` tool: pack converts a trace (text or already
+ * binary) to the compact packed encoding; info prints its records,
+ * content hash and the cache identity its replay would run under.
+ * Packing never changes the content hash, so a packed trace hits
+ * every cache entry its text original warmed.
+ */
+int
+runTraceTool(const std::vector<std::string> &args, std::ostream &out,
+             std::ostream &err)
+{
+    if (args.size() == 3 && args[0] == "pack") {
+        std::string perr;
+        auto trace = loadTraceFile(args[1], perr);
+        if (!trace) {
+            err << "bwsim: " << perr << "\n";
+            return 1;
+        }
+        const std::string bytes = packTrace(*trace);
+        std::ofstream f(args[2], std::ios::binary | std::ios::trunc);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+        f.close();
+        if (!f) {
+            err << "bwsim: cannot write packed trace to '" << args[2]
+                << "'\n";
+            return 1;
+        }
+        out << csprintf(
+            "packed %zu records (content %016llx) to %s (%zu bytes)\n",
+            trace->records.size(),
+            static_cast<unsigned long long>(trace->contentHash),
+            args[2].c_str(), bytes.size());
+        return 0;
+    }
+    if (args.size() == 2 && args[0] == "info") {
+        std::string perr;
+        auto trace = loadTraceFile(args[1], perr);
+        if (!trace) {
+            err << "bwsim: " << perr << "\n";
+            return 1;
+        }
+        std::size_t loads = 0;
+        for (const auto &r : trace->records)
+            loads += r.op == Op::Load;
+        const WorkloadSpec spec = makeTraceWorkload(trace);
+        out << "trace: " << trace->sourceName << "\n";
+        out << csprintf("records: %zu (%zu loads, %zu stores)\n",
+                        trace->records.size(), loads,
+                        trace->records.size() - loads);
+        out << "cta-tagged: " << (trace->ctaTagged ? "yes" : "no")
+            << "\n";
+        out << csprintf("content-hash: %016llx\n",
+                        static_cast<unsigned long long>(
+                            trace->contentHash));
+        out << csprintf("launch-shape: %d ctas x %d warps "
+                        "(max %d ctas/core)\n",
+                        spec.profile.numCtas, spec.profile.warpsPerCta,
+                        spec.profile.maxCtasPerCore);
+        out << "workload-key: " << workloadKeyTag(spec) << "\n";
+        return 0;
+    }
+    err << "bwsim: usage: bwsim trace pack IN OUT | "
+           "bwsim trace info FILE\n";
+    return 1;
 }
 
 #ifdef __unix__
@@ -913,6 +995,8 @@ runJobs(const std::vector<std::string> &names,
         common_args.push_back(n);
     if (!opts.benchmarks.empty())
         common_args.push_back("--benches=" + joinCsv(opts.benchmarks));
+    if (!opts.tracePath.empty())
+        common_args.push_back("--trace=" + opts.tracePath);
     common_args.push_back(csprintf("--threads=%d", worker_threads));
     common_args.push_back(csprintf("--shrink=%d", opts.shrink));
     common_args.push_back("--cache-dir=" + dir);
@@ -1121,6 +1205,12 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
             return 0;
         } else if (a.rfind("--benches=", 0) == 0) {
             opts.benchmarks = exp::splitCsv(valueOf("--benches="));
+        } else if (a.rfind("--trace=", 0) == 0) {
+            opts.tracePath = valueOf("--trace=");
+            if (opts.tracePath.empty()) {
+                err << "bwsim: --trace expects a file path\n";
+                return 1;
+            }
         } else if (a.rfind("--threads=", 0) == 0) {
             if (!parseIntFlag("--threads", valueOf("--threads="),
                               opts.threads))
@@ -1316,6 +1406,11 @@ cliMain(int argc, const char *const *argv, std::ostream &out,
         }
         return runWorkerMode(opts, err);
     }
+
+    if (!names.empty() && names[0] == "trace")
+        return runTraceTool(
+            std::vector<std::string>(names.begin() + 1, names.end()),
+            out, err);
 
     if (std::find(names.begin(), names.end(), "perf") != names.end()) {
         if (names.size() != 1) {

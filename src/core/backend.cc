@@ -26,7 +26,7 @@ ThreadedBackend::runAll(const std::vector<RunSpec> &specs, int threads)
 
     if (n_threads <= 1) {
         for (std::size_t i = 0; i < specs.size(); ++i)
-            results[i] = runOne(specs[i].profile, specs[i].config);
+            results[i] = runOne(specs[i].workload, specs[i].config);
         return results;
     }
 
@@ -36,7 +36,7 @@ ThreadedBackend::runAll(const std::vector<RunSpec> &specs, int threads)
             std::size_t i = next.fetch_add(1);
             if (i >= specs.size())
                 return;
-            results[i] = runOne(specs[i].profile, specs[i].config);
+            results[i] = runOne(specs[i].workload, specs[i].config);
         }
     };
     std::vector<std::thread> pool;

@@ -10,9 +10,9 @@ namespace bwsim
 {
 
 SimResult
-runOne(const BenchmarkProfile &profile, const GpuConfig &config)
+runOne(const WorkloadSpec &workload, const GpuConfig &config)
 {
-    Gpu gpu(config, profile);
+    Gpu gpu(config, workload);
     return gpu.run();
 }
 

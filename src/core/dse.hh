@@ -13,20 +13,21 @@
 
 #include "gpu/gpu_config.hh"
 #include "gpu/sim_result.hh"
-#include "workloads/profile.hh"
+#include "workloads/workload_spec.hh"
 
 namespace bwsim
 {
 
-/** One simulation to run. */
+/** One simulation to run. A bare BenchmarkProfile converts
+ *  implicitly, so `{profile, config}` call sites read unchanged. */
 struct RunSpec
 {
-    BenchmarkProfile profile;
+    WorkloadSpec workload;
     GpuConfig config;
 };
 
 /** Run a single simulation to completion. */
-SimResult runOne(const BenchmarkProfile &profile, const GpuConfig &config);
+SimResult runOne(const WorkloadSpec &workload, const GpuConfig &config);
 
 /**
  * Run every spec, using up to @p threads host threads (0 = hardware

@@ -10,6 +10,7 @@
 #include "core/cost_model.hh"
 #include "core/sim_cache.hh"
 #include "core/work_queue.hh"
+#include "workloads/trace_source.hh"
 #include "smcore/stall.hh"
 #include "stats/occupancy_hist.hh"
 
@@ -84,8 +85,8 @@ backendSlot()
  * per cache directory when a disk tier is attached.
  */
 std::vector<SimResult>
-runConfig(const std::vector<BenchmarkProfile> &profiles,
-          const GpuConfig &cfg, int threads)
+runConfig(const std::vector<WorkloadSpec> &profiles, const GpuConfig &cfg,
+          int threads)
 {
     std::vector<RunSpec> specs;
     specs.reserve(profiles.size());
@@ -94,24 +95,43 @@ runConfig(const std::vector<BenchmarkProfile> &profiles,
     return executionBackend().runAll(specs, threads);
 }
 
+/** True when any workload is not a plain synthetic profile -- the
+ *  tables then carry a key column to keep rows unambiguous. */
+bool
+anyNonSynthetic(const std::vector<WorkloadSpec> &specs)
+{
+    for (const auto &s : specs)
+        if (s.kind != WorkloadKind::Synthetic)
+            return true;
+    return false;
+}
+
 /** Build a speedup-style SeriesTable: rows = benchmarks (+AVG). */
 SeriesTable
-buildSpeedupTable(const std::vector<BenchmarkProfile> &profiles,
+buildSpeedupTable(const std::vector<WorkloadSpec> &profiles,
                   const std::vector<std::string> &config_names,
                   const std::vector<std::vector<double>> &speedups,
                   const std::string &value_header)
 {
     SeriesTable t;
     t.colNames = config_names;
+    // Mixed trace/generator sweeps get a workload-key column so two
+    // workloads sharing a display name stay distinguishable; pure
+    // synthetic sweeps keep the historical (golden) shape.
+    const bool keyed = anyNonSynthetic(profiles);
     std::vector<std::string> headers{"benchmark"};
+    if (keyed)
+        headers.push_back("workload");
     for (const auto &c : config_names)
         headers.push_back(c);
     t.table = stats::TextTable(headers);
 
     std::vector<double> col_sums(config_names.size(), 0.0);
     for (std::size_t b = 0; b < profiles.size(); ++b) {
-        t.rowNames.push_back(profiles[b].name);
-        t.table.newRow().add(profiles[b].name);
+        t.rowNames.push_back(profiles[b].name());
+        t.table.newRow().add(profiles[b].name());
+        if (keyed)
+            t.table.add(workloadKeyTag(profiles[b]));
         std::vector<double> row;
         for (std::size_t c = 0; c < config_names.size(); ++c) {
             double v = speedups[c][b];
@@ -123,6 +143,8 @@ buildSpeedupTable(const std::vector<BenchmarkProfile> &profiles,
     }
     t.rowNames.push_back("AVG");
     t.table.newRow().add("AVG");
+    if (keyed)
+        t.table.add("-");
     std::vector<double> avg_row;
     for (std::size_t c = 0; c < config_names.size(); ++c) {
         double v = profiles.empty()
@@ -250,23 +272,51 @@ configureExecution(const ExperimentOptions &opts)
     }
 }
 
-std::vector<BenchmarkProfile>
+std::vector<WorkloadSpec>
 selectBenchmarks(const ExperimentOptions &opts)
 {
-    std::vector<BenchmarkProfile> out;
+    std::vector<WorkloadSpec> out;
+    if (!opts.tracePath.empty()) {
+        std::string err;
+        auto trace = loadTraceFile(opts.tracePath, err);
+        if (!trace)
+            fatal("%s", err.c_str());
+        out.push_back(makeTraceWorkload(std::move(trace)));
+    }
     if (opts.benchmarks.empty()) {
-        out = benchmarkSuite();
+        // A lone --trace runs just the trace, not trace + all 19.
+        if (out.empty())
+            for (const auto &p : benchmarkSuite())
+                out.push_back(p);
     } else {
         for (const auto &name : opts.benchmarks) {
+            WorkloadSpec gen_spec;
+            if (parseGeneratorForm(name, gen_spec)) {
+                out.push_back(std::move(gen_spec));
+                continue;
+            }
             const BenchmarkProfile *p = findBenchmark(name);
-            if (!p)
-                fatal("unknown benchmark '%s'", name.c_str());
+            if (!p) {
+                std::string avail;
+                for (const auto &b : benchmarkSuite()) {
+                    if (!avail.empty())
+                        avail += ", ";
+                    avail += b.name;
+                }
+                fatal("unknown benchmark '%s'\n  available: %s\n  "
+                      "also accepted: %s",
+                      name.c_str(), avail.c_str(),
+                      workloadFormsHelp().c_str());
+            }
             out.push_back(*p);
         }
     }
+    // Shrink scales the synthetic profiles only: a trace replays
+    // exactly its records and a probe's size is its meaning.
     if (opts.shrink > 1)
-        for (auto &p : out)
-            p = shrinkProfile(p, opts.shrink);
+        for (auto &s : out)
+            if (s.kind == WorkloadKind::Synthetic)
+                s.profile = shrinkProfile(s.profile, opts.shrink);
     return out;
 }
 
@@ -560,8 +610,8 @@ sec6BandwidthUtilization(const ExperimentOptions &opts)
 
     std::vector<double> col_sums(t.colNames.size(), 0.0);
     for (std::size_t b = 0; b < profiles.size(); ++b) {
-        t.rowNames.push_back(profiles[b].name);
-        t.table.newRow().add(profiles[b].name);
+        t.rowNames.push_back(profiles[b].name());
+        t.table.newRow().add(profiles[b].name());
         std::vector<double> row;
         for (std::size_t c = 0; c < configs.size(); ++c) {
             const SimResult &r = results[c][b];

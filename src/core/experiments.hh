@@ -35,8 +35,13 @@ bool parseTableFormat(const std::string &s, TableFormat &out);
 /** Common knobs for every experiment driver. */
 struct ExperimentOptions
 {
-    /** Benchmarks to include (paper abbreviations); empty = all 19. */
+    /** Benchmarks to include: paper abbreviations or generator forms
+     *  ("pchase[:REGION[:INSTS]]", "stride[:STRIDE[:REGION]]");
+     *  empty = all 19 synthetic benchmarks. */
     std::vector<std::string> benchmarks;
+    /** Trace file to run (text "type addr" or packed binary); when
+     *  set and benchmarks is empty, only the trace runs. */
+    std::string tracePath;
     /** Host threads for the parallel runner (0 = hardware). */
     int threads = 0;
     /** Divide workload size by this factor (quick runs, tests). */
@@ -92,8 +97,9 @@ struct SeriesTable
     at(const std::string &row, const std::string &col) const;
 };
 
-/** Resolve the benchmark subset of @p opts (with shrink applied). */
-std::vector<BenchmarkProfile>
+/** Resolve the workload subset of @p opts: suite benchmarks (with
+ *  shrink applied), generator forms, and the --trace file. */
+std::vector<WorkloadSpec>
 selectBenchmarks(const ExperimentOptions &opts);
 
 /**

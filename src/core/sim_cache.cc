@@ -11,15 +11,15 @@ SimCache::global()
 }
 
 std::string
-SimCache::keyOf(const BenchmarkProfile &profile, const GpuConfig &config)
+SimCache::keyOf(const WorkloadSpec &workload, const GpuConfig &config)
 {
-    return profile.cacheKey() + '\n' + config.cacheKey();
+    return workload.cacheKey() + '\n' + config.cacheKey();
 }
 
 SimResult
-SimCache::run(const BenchmarkProfile &profile, const GpuConfig &config)
+SimCache::run(const WorkloadSpec &workload, const GpuConfig &config)
 {
-    std::vector<RunSpec> spec{{profile, config}};
+    std::vector<RunSpec> spec{{workload, config}};
     return runAll(spec, 1).front();
 }
 
@@ -103,7 +103,7 @@ SimCache::runAll(const std::vector<RunSpec> &specs, int threads)
         shard_policy = shard;
         backend = simBackend;
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            keys[i] = keyOf(specs[i].profile, specs[i].config);
+            keys[i] = keyOf(specs[i].workload, specs[i].config);
             auto it = results.find(keys[i]);
             if (it != results.end()) {
                 out[i] = it->second;

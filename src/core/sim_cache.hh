@@ -1,6 +1,6 @@
 /**
  * @file
- * SimCache: memoizes (BenchmarkProfile, GpuConfig) -> SimResult so a
+ * SimCache: memoizes (WorkloadSpec, GpuConfig) -> SimResult so a
  * driver invocation that builds several figures simulates each unique
  * pair exactly once. Simulations are deterministic (fixed RNG seeds),
  * so a cached result is bit-identical to a fresh run.
@@ -47,7 +47,7 @@ class SimCache
     static SimCache &global();
 
     /** Run (or recall) a single simulation. */
-    SimResult run(const BenchmarkProfile &profile, const GpuConfig &config);
+    SimResult run(const WorkloadSpec &workload, const GpuConfig &config);
 
     /**
      * Run every spec, recalling cached pairs (memory first, then the
@@ -109,7 +109,7 @@ class SimCache
     /**@}*/
 
   private:
-    static std::string keyOf(const BenchmarkProfile &profile,
+    static std::string keyOf(const WorkloadSpec &workload,
                              const GpuConfig &config);
 
     /** Run misses on the configured backend (default: threaded). */

@@ -9,7 +9,7 @@
 #include "common/log.hh"
 #include "core/sim_cache.hh"
 #include "gpu/gpu_config.hh"
-#include "workloads/profile.hh"
+#include "workloads/workload_spec.hh"
 
 namespace fs = std::filesystem;
 
@@ -80,7 +80,7 @@ workKeyOf(const RunSpec &spec)
 {
     // Must match SimCache's internal keying so a spool shared with a
     // cache directory dedupes on the same identity.
-    return spec.profile.cacheKey() + '\n' + spec.config.cacheKey();
+    return spec.workload.cacheKey() + '\n' + spec.config.cacheKey();
 }
 
 std::string
@@ -101,12 +101,12 @@ std::string
 encodeJob(const RunSpec &spec)
 {
     ByteWriter p;
-    p.u32(profileSerdesVersion);
+    p.u32(workloadSerdesVersion);
     p.u32(gpuConfigSerdesVersion);
-    p.u32(static_cast<std::uint32_t>(sizeof(BenchmarkProfile)));
+    p.u32(static_cast<std::uint32_t>(sizeof(WorkloadSpec)));
     p.u32(static_cast<std::uint32_t>(sizeof(GpuConfig)));
     p.str(workKeyOf(spec));
-    serializeProfile(p, spec.profile);
+    serializeWorkload(p, spec.workload);
     serializeConfig(p, spec.config);
     return frameBlob(kJobMagic, workQueueFormatVersion, p.bytes());
 }
@@ -125,29 +125,29 @@ decodeJob(const std::string &bytes, RunSpec &out, std::string *why)
     // *consistent* difference between the writing and reading builds,
     // not bit-rot -- worth telling the operator apart.
     ByteReader r(payload);
-    const std::uint32_t profile_v = r.u32();
+    const std::uint32_t workload_v = r.u32();
     const std::uint32_t config_v = r.u32();
-    const std::uint32_t profile_sz = r.u32();
+    const std::uint32_t workload_sz = r.u32();
     const std::uint32_t config_sz = r.u32();
-    if (profile_v != profileSerdesVersion ||
+    if (workload_v != workloadSerdesVersion ||
         config_v != gpuConfigSerdesVersion ||
-        profile_sz != static_cast<std::uint32_t>(
-                          sizeof(BenchmarkProfile)) ||
+        workload_sz != static_cast<std::uint32_t>(
+                           sizeof(WorkloadSpec)) ||
         config_sz != static_cast<std::uint32_t>(sizeof(GpuConfig))) {
         if (why)
             *why = csprintf(
-                "layout mismatch: job has profile/config serdes "
+                "layout mismatch: job has workload/config serdes "
                 "v%u/v%u sizes %u/%u, this build expects v%u/v%u "
                 "sizes %u/%u (mixed bwsim builds or ABIs sharing "
                 "one spool?)",
-                profile_v, config_v, profile_sz, config_sz,
-                profileSerdesVersion, gpuConfigSerdesVersion,
-                static_cast<std::uint32_t>(sizeof(BenchmarkProfile)),
+                workload_v, config_v, workload_sz, config_sz,
+                workloadSerdesVersion, gpuConfigSerdesVersion,
+                static_cast<std::uint32_t>(sizeof(WorkloadSpec)),
                 static_cast<std::uint32_t>(sizeof(GpuConfig)));
         return false;
     }
     const std::string key = r.str();
-    if (!r.ok() || !deserializeProfile(r, out.profile) ||
+    if (!r.ok() || !deserializeWorkload(r, out.workload) ||
         !deserializeConfig(r, out.config) || r.remaining() != 0) {
         if (why)
             *why = "payload does not decode";
@@ -380,7 +380,7 @@ WorkQueue::results(const std::vector<RunSpec> &specs) const
         if (it == resolved.end())
             fatal("work queue: no result for '%s' / '%s' (results() "
                   "before done()?)",
-                  spec.profile.name.c_str(), spec.config.name.c_str());
+                  spec.workload.name().c_str(), spec.config.name.c_str());
         out.push_back(it->second);
     }
     return out;
@@ -472,7 +472,7 @@ workerProcessOneJob(const std::string &spool_dir, SimCache &cache,
             // simulation runs.
             ClaimHeartbeat heartbeat(claimed_path.string(),
                                      heartbeat_sec);
-            return cache.run(spec.profile, spec.config);
+            return cache.run(spec.workload, spec.config);
         }();
         const fs::path reply_path =
             repliesDir(spool_dir) / replyFileNameFor(key);

@@ -1,6 +1,6 @@
 /**
  * @file
- * Distributed work-queue execution: (profile, config) work units as
+ * Distributed work-queue execution: (workload, config) work units as
  * serialized job files in a shared spool directory, drained by any
  * number of `bwsim --worker` processes on any number of hosts that
  * share a filesystem.
@@ -15,9 +15,10 @@
  *   SPOOL/stop                   sentinel: workers drain the jobs
  *                                directory, then exit
  *
- * <hex> is fnv1a64 of the SimCache key (profile cacheKey + '\n' +
+ * <hex> is fnv1a64 of the SimCache key (workload cacheKey + '\n' +
  * config cacheKey), so every participant derives the same file name
- * for the same pair. Claims are atomic renames: exactly one worker's
+ * for the same pair. Trace jobs embed their records, so a worker
+ * needs no access to the original trace file. Claims are atomic renames: exactly one worker's
  * rename(2) of a job into claimed/ succeeds, so no work unit ever
  * runs twice concurrently. Job and reply files are versioned and
  * checksummed like the on-disk SimCache header; a truncated or
@@ -51,8 +52,11 @@ namespace bwsim
 
 class SimCache;
 
-/** Version of the job/reply envelope and payload layout below. */
-constexpr std::uint32_t workQueueFormatVersion = 1;
+/** Version of the job/reply envelope and payload layout below.
+ *  v2: jobs carry a serialized WorkloadSpec (synthetic profile,
+ *  embedded trace records, or generator parameters) instead of a
+ *  bare BenchmarkProfile. */
+constexpr std::uint32_t workQueueFormatVersion = 2;
 
 /** Envelope magics ('BWSJ' / 'BWSR' little-endian); part of the wire
  *  format contract, exposed so tests can build tampered envelopes. */

@@ -6,13 +6,13 @@
 
 #include "sim/sim_speed.hh"
 #include "sim/tick_profile.hh"
-#include "workloads/trace_gen.hh"
+#include "workloads/workload_spec.hh"
 
 namespace bwsim
 {
 
-Gpu::Gpu(const GpuConfig &config, const BenchmarkProfile &profile)
-    : cfg(config), prof(profile)
+Gpu::Gpu(const GpuConfig &config, const WorkloadSpec &workload)
+    : cfg(config), spec(workload), prof(spec.profile)
 {
     cfg.validate();
     bwsim_assert(prof.warpsPerCta * prof.maxCtasPerCore <=
@@ -147,11 +147,11 @@ Gpu::takeCta(int core_id)
     std::uint64_t seq = ctaSeq++;
     CtaWork work;
     work.numWarps = prof.warpsPerCta;
-    const BenchmarkProfile *profile = &prof;
+    const WorkloadSpec *workload = &spec;
     std::uint32_t line = cfg.lineBytes;
-    work.makeCursor = [profile, core_id, seq, line](int warp_in_cta) {
-        return makeSyntheticCursor(*profile, core_id, seq, warp_in_cta,
-                                   line);
+    work.makeCursor = [workload, core_id, seq, line](int warp_in_cta) {
+        return makeWorkloadCursor(*workload, core_id, seq, warp_in_cta,
+                                  line);
     };
     return work;
 }

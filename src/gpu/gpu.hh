@@ -6,7 +6,8 @@
  * (core / crossbar+L2 / DRAM).
  *
  * The Gpu is also the WorkSource feeding CTAs from the selected
- * BenchmarkProfile to the cores. Which memory hierarchy sits below the
+ * WorkloadSpec (synthetic profile, trace replay, or generator probe)
+ * to the cores. Which memory hierarchy sits below the
  * L1s is entirely the MemSystem's business (see mem/mem_system.hh):
  * the tick and completion paths here are mode-free, so the bounding
  * experiments of Table II and Fig. 3 are plain configs.
@@ -34,7 +35,7 @@
 #include "sim/clock.hh"
 #include "smcore/sm_core.hh"
 #include "stats/stat.hh"
-#include "workloads/profile.hh"
+#include "workloads/workload_spec.hh"
 
 namespace bwsim
 {
@@ -42,7 +43,8 @@ namespace bwsim
 class Gpu : public WorkSource
 {
   public:
-    Gpu(const GpuConfig &config, const BenchmarkProfile &profile);
+    /** Accepts a plain BenchmarkProfile implicitly (synthetic spec). */
+    Gpu(const GpuConfig &config, const WorkloadSpec &workload);
     ~Gpu() override;
 
     Gpu(const Gpu &) = delete;
@@ -63,6 +65,7 @@ class Gpu : public WorkSource
     /** @name Introspection for tests and the analysis framework */
     /**@{*/
     const GpuConfig &config() const { return cfg; }
+    const WorkloadSpec &workload() const { return spec; }
     const BenchmarkProfile &profile() const { return prof; }
     SmCore &core(int i) { return *cores.at(i); }
     MemSystem &memSystem() { return *memSys; }
@@ -113,6 +116,8 @@ class Gpu : public WorkSource
     void registerTickProfileStats();
 
     GpuConfig cfg;
+    WorkloadSpec spec;
+    /** Shape/name shorthand; always a copy of spec.profile. */
     BenchmarkProfile prof;
     MemFetchAllocator alloc;
 

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Microbenchmark generators: parameterized probe workloads in the
+ * spirit of Mei & Chu's microbenchmark dissection of GPU memory
+ * hierarchies. Both are WorkloadSpec generators, so they run, cache
+ * and queue like any benchmark -- and because their expected
+ * behaviour is computable from the GpuConfig, they double as a
+ * validation harness for the modelled hierarchy:
+ *
+ *   PointerChaseCursor -- a single warp walking a dependent-load
+ *       chain over a power-of-two region. Every load's source
+ *       register is the previous load's destination, so exactly one
+ *       memory access is in flight and the measured average memory
+ *       latency (SimResult.aml) is the round-trip latency of
+ *       whichever level the region fits in: size the region inside
+ *       L1, inside L2, or beyond, and the probe reads back the
+ *       configured L1 / L2 / DRAM latencies.
+ *
+ *   StrideCursor -- many warps streaming independent strided loads.
+ *       With a DRAM-sized footprint the probe saturates the L2<->DRAM
+ *       link and the measured bytes/cycle (SimResult.l2DramBpc)
+ *       recovers the configured dramBusBytesPerCycle.
+ */
+
+#ifndef BWSIM_WORKLOADS_GENERATORS_HH
+#define BWSIM_WORKLOADS_GENERATORS_HH
+
+#include <cstdint>
+
+#include "smcore/isa.hh"
+#include "workloads/workload_spec.hh"
+
+namespace bwsim
+{
+
+class PointerChaseCursor final : public TraceCursor
+{
+  public:
+    PointerChaseCursor(const GeneratorParams &gen,
+                       std::uint32_t line_bytes);
+
+    bool next(WarpInstData &out) override;
+    Addr nextPc() const override;
+    bool done() const override { return instIdx >= insts; }
+
+  private:
+    std::uint64_t numLines; ///< power of two; permutation modulus
+    std::uint32_t line;
+    int insts;
+    std::uint64_t idx = 0;
+    int instIdx = 0;
+};
+
+class StrideCursor final : public TraceCursor
+{
+  public:
+    StrideCursor(const GeneratorParams &gen, std::uint64_t global_warp,
+                 std::uint32_t line_bytes);
+
+    bool next(WarpInstData &out) override;
+    Addr nextPc() const override;
+    bool done() const override { return instIdx >= insts; }
+
+  private:
+    std::uint64_t regionBytes;
+    std::uint64_t strideBytes;
+    std::uint64_t globalWarp;
+    std::uint32_t line;
+    int insts;
+    int instIdx = 0;
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_WORKLOADS_GENERATORS_HH

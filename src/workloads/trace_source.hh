@@ -1,0 +1,109 @@
+/**
+ * @file
+ * TraceSource: file-backed workloads. Two on-disk encodings share one
+ * in-memory TraceData (and one content hash):
+ *
+ * Text ("classic type addr" format), parsed line by line:
+ *
+ *     # comment
+ *     ld 0x1000        <- load
+ *     st 0x2000        <- store
+ *     ld 0x3000 2      <- optional third column: CTA tag
+ *
+ * Types accept ld/load/r and st/store/w; addresses parse in base 16
+ * with or without 0x, or decimal with a leading '#d'-free digit via
+ * base-0 strtoull. A trace is CTA-tagged iff every record carries a
+ * tag (mixing is a parse error).
+ *
+ * Binary (`bwsim trace pack`): a frameBlob envelope (magic, version,
+ * FNV-1a checksum) around a small header plus the canonical record
+ * bytes -- exactly the bytes the content hash covers, so packing
+ * cannot change a trace's cache identity.
+ *
+ * TraceReplayCursor feeds the records to warps either round-robin
+ * over all launched warps (untagged) or by CTA tag with round-robin
+ * among the CTA's warps (tagged). Replay is fully deterministic, so
+ * like every workload it is bit-identical across scheduler modes.
+ */
+
+#ifndef BWSIM_WORKLOADS_TRACE_SOURCE_HH
+#define BWSIM_WORKLOADS_TRACE_SOURCE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "smcore/isa.hh"
+#include "workloads/workload_spec.hh"
+
+namespace bwsim
+{
+
+/** Envelope identity of packed binary traces ("BWTR"). */
+constexpr std::uint32_t traceFileMagic = 0x52545742;
+constexpr std::uint32_t traceFileVersion = 1;
+
+/** Longest accepted text line; longer input is a parse error. */
+constexpr std::size_t traceMaxLineBytes = 512;
+
+/**
+ * Parse the text format from @p in (streaming; the file is never
+ * slurped). On success fills a sealed @p out and returns true; on any
+ * malformed input fills @p err with a "<name>:<line>: ..." message
+ * and returns false. An empty trace (no records) is an error.
+ */
+bool parseTextTrace(std::istream &in, const std::string &name,
+                    TraceData &out, std::string &err);
+
+/** Serialize @p t to the packed binary encoding. */
+std::string packTrace(const TraceData &t);
+
+/**
+ * Inverse of packTrace(). False with a diagnostic in @p err on a bad
+ * envelope, truncation, or a content-hash mismatch.
+ */
+bool unpackTrace(const std::string &bytes, const std::string &name,
+                 TraceData &out, std::string &err);
+
+/**
+ * Load @p path, sniffing the packed-binary magic and falling back to
+ * the text parser. Null with a diagnostic in @p err on any failure.
+ */
+std::shared_ptr<const TraceData> loadTraceFile(const std::string &path,
+                                               std::string &err);
+
+class TraceReplayCursor final : public TraceCursor
+{
+  public:
+    TraceReplayCursor(std::shared_ptr<const TraceData> trace,
+                      int num_ctas, int warps_per_cta,
+                      std::uint64_t cta_seq, int warp_in_cta,
+                      std::uint32_t line_bytes);
+
+    bool next(WarpInstData &out) override;
+    Addr nextPc() const override;
+    bool done() const override { return !curValid; }
+
+  private:
+    /** Advance cur to the next record owned by this warp. */
+    void seek();
+
+    std::shared_ptr<const TraceData> trace;
+    int warpsPerCta;
+    std::uint64_t ctaSeq;
+    int warpInCta;
+    std::uint64_t globalWarp;
+    std::uint64_t totalWarps;
+    std::uint32_t line;
+
+    std::size_t pos = 0;      ///< next unexamined record index
+    std::size_t cur = 0;      ///< record next() will emit
+    bool curValid = false;
+    std::uint64_t tagMatches = 0; ///< tagged: records seen for ctaSeq
+    std::uint64_t instSeq = 0;    ///< instructions emitted (PC loop)
+};
+
+} // namespace bwsim
+
+#endif // BWSIM_WORKLOADS_TRACE_SOURCE_HH

@@ -1,0 +1,324 @@
+#include "workloads/workload_spec.hh"
+
+#include <algorithm>
+
+#include "common/key_builder.hh"
+#include "common/log.hh"
+#include "workloads/generators.hh"
+#include "workloads/trace_gen.hh"
+#include "workloads/trace_source.hh"
+
+namespace bwsim
+{
+
+std::string
+canonicalTraceBytes(const TraceData &t)
+{
+    ByteWriter w;
+    for (const auto &r : t.records) {
+        w.u8(r.op == Op::Store ? 1 : 0);
+        w.u64(r.addr);
+        // -1 (untagged) encodes as 0 so tagged/untagged never collide.
+        w.u32(static_cast<std::uint32_t>(r.cta + 1));
+    }
+    return std::move(w).take();
+}
+
+void
+sealTrace(TraceData &t)
+{
+    t.contentHash = fnv1a64(canonicalTraceBytes(t));
+}
+
+std::string
+WorkloadSpec::cacheKey() const
+{
+    switch (kind) {
+    case WorkloadKind::Synthetic:
+        return profile.cacheKey();
+    case WorkloadKind::Trace: {
+        KeyBuilder kb(96);
+        kb.addStr("trace");
+        kb.addU(trace ? trace->contentHash : 0);
+        kb.addU(trace && trace->ctaTagged ? 1 : 0);
+        kb.addI(profile.numCtas);
+        kb.addI(profile.warpsPerCta);
+        kb.addI(profile.maxCtasPerCore);
+        return "#" + std::move(kb).str();
+    }
+    case WorkloadKind::Generator: {
+        KeyBuilder kb(96);
+        kb.addStr("gen");
+        kb.addU(static_cast<std::uint64_t>(gen.kind));
+        kb.addU(gen.regionBytes);
+        kb.addU(gen.strideBytes);
+        kb.addI(gen.insts);
+        kb.addI(profile.numCtas);
+        kb.addI(profile.warpsPerCta);
+        kb.addI(profile.maxCtasPerCore);
+        return "#" + std::move(kb).str();
+    }
+    }
+    fatal("WorkloadSpec::cacheKey: corrupt kind %d",
+          static_cast<int>(kind));
+}
+
+WorkloadSpec
+makeTraceWorkload(std::shared_ptr<const TraceData> trace)
+{
+    bwsim_assert(trace && !trace->records.empty(),
+                 "makeTraceWorkload: empty trace");
+    WorkloadSpec s;
+    s.kind = WorkloadKind::Trace;
+    s.profile.name = trace->sourceName;
+    s.profile.suite = "trace";
+    s.profile.warpsPerCta = 4;
+    s.profile.maxCtasPerCore = 4;
+    if (trace->ctaTagged) {
+        std::int32_t max_tag = 0;
+        for (const auto &r : trace->records)
+            max_tag = std::max(max_tag, r.cta);
+        s.profile.numCtas = max_tag + 1;
+    } else {
+        s.profile.numCtas = 4;
+    }
+    s.trace = std::move(trace);
+    return s;
+}
+
+WorkloadSpec
+makeGeneratorWorkload(const GeneratorParams &gen, const std::string &name)
+{
+    WorkloadSpec s;
+    s.kind = WorkloadKind::Generator;
+    s.gen = gen;
+    s.profile.name = name;
+    s.profile.suite = "generator";
+    if (gen.kind == GenKind::PointerChase) {
+        // One warp total: exactly one dependent access in flight.
+        s.profile.numCtas = 1;
+        s.profile.warpsPerCta = 1;
+        s.profile.maxCtasPerCore = 1;
+    } else {
+        // Enough resident warps to saturate the DRAM bus.
+        s.profile.numCtas = 30;
+        s.profile.warpsPerCta = 8;
+        s.profile.maxCtasPerCore = 2;
+    }
+    return s;
+}
+
+namespace
+{
+
+/** Parse "64", "8k", "2m", "1g" (case-insensitive suffixes). */
+bool
+parseSizeArg(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t mult = 1;
+    std::string digits = s;
+    const char suffix = s.back();
+    if (suffix == 'k' || suffix == 'K')
+        mult = 1024;
+    else if (suffix == 'm' || suffix == 'M')
+        mult = 1024 * 1024;
+    else if (suffix == 'g' || suffix == 'G')
+        mult = 1024ull * 1024 * 1024;
+    if (mult != 1)
+        digits.pop_back();
+    if (digits.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = v * mult;
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+parseGeneratorForm(const std::string &form, WorkloadSpec &out)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t colon = form.find(':', start);
+        parts.push_back(form.substr(start, colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+
+    GeneratorParams gen;
+    if (parts[0] == "pchase") {
+        gen.kind = GenKind::PointerChase;
+        gen.regionBytes = 8 * 1024;
+        gen.insts = 2000;
+        if (parts.size() > 1 && !parseSizeArg(parts[1], gen.regionBytes))
+            fatal("malformed pchase region '%s' (want pchase[:REGION"
+                  "[:INSTS]], sizes like 8k/2m)",
+                  parts[1].c_str());
+        if (parts.size() > 2) {
+            std::uint64_t insts = 0;
+            if (!parseSizeArg(parts[2], insts) || insts == 0)
+                fatal("malformed pchase insts '%s'", parts[2].c_str());
+            gen.insts = static_cast<int>(insts);
+        }
+        if (parts.size() > 3)
+            fatal("too many pchase parameters in '%s'", form.c_str());
+    } else if (parts[0] == "stride") {
+        gen.kind = GenKind::Stride;
+        gen.strideBytes = 128;
+        gen.regionBytes = 256ull * 1024 * 1024;
+        gen.insts = 512;
+        if (parts.size() > 1 &&
+            (!parseSizeArg(parts[1], gen.strideBytes) ||
+             gen.strideBytes == 0))
+            fatal("malformed stride '%s' (want stride[:STRIDE"
+                  "[:REGION]], sizes like 128/1k)",
+                  parts[1].c_str());
+        if (parts.size() > 2 &&
+            (!parseSizeArg(parts[2], gen.regionBytes) ||
+             gen.regionBytes == 0))
+            fatal("malformed stride region '%s'", parts[2].c_str());
+        if (parts.size() > 3)
+            fatal("too many stride parameters in '%s'", form.c_str());
+    } else {
+        return false;
+    }
+    out = makeGeneratorWorkload(gen, form);
+    return true;
+}
+
+std::string
+workloadFormsHelp()
+{
+    return "--trace=FILE (text 'type addr' or packed binary), "
+           "pchase[:REGION[:INSTS]], stride[:STRIDE[:REGION]]";
+}
+
+std::string
+workloadKeyTag(const WorkloadSpec &spec)
+{
+    return csprintf("%016llx", static_cast<unsigned long long>(
+                                   fnv1a64(spec.cacheKey())));
+}
+
+void
+serializeWorkload(ByteWriter &w, const WorkloadSpec &spec)
+{
+    w.u8(static_cast<std::uint8_t>(spec.kind));
+    serializeProfile(w, spec.profile);
+    switch (spec.kind) {
+    case WorkloadKind::Synthetic:
+        break;
+    case WorkloadKind::Trace: {
+        bwsim_assert(spec.trace != nullptr,
+                     "serializeWorkload: trace spec without trace data");
+        const TraceData &t = *spec.trace;
+        w.str(t.sourceName);
+        w.u8(t.ctaTagged ? 1 : 0);
+        w.u64(t.contentHash);
+        w.u64(t.records.size());
+        w.str(canonicalTraceBytes(t));
+        break;
+    }
+    case WorkloadKind::Generator:
+        w.u8(static_cast<std::uint8_t>(spec.gen.kind));
+        w.u64(spec.gen.regionBytes);
+        w.u64(spec.gen.strideBytes);
+        w.u32(static_cast<std::uint32_t>(spec.gen.insts));
+        break;
+    }
+}
+
+bool
+deserializeWorkload(ByteReader &r, WorkloadSpec &out)
+{
+    const std::uint8_t kind = r.u8();
+    if (!r.ok() || kind > static_cast<std::uint8_t>(WorkloadKind::Generator))
+        return false;
+    out = WorkloadSpec();
+    out.kind = static_cast<WorkloadKind>(kind);
+    if (!deserializeProfile(r, out.profile))
+        return false;
+    switch (out.kind) {
+    case WorkloadKind::Synthetic:
+        return true;
+    case WorkloadKind::Trace: {
+        auto t = std::make_shared<TraceData>();
+        t->sourceName = r.str();
+        t->ctaTagged = r.u8() != 0;
+        const std::uint64_t stored_hash = r.u64();
+        const std::uint64_t count = r.u64();
+        const std::string canon = r.str();
+        // Canonical records are fixed-width: u8 op + u64 addr + u32 cta.
+        constexpr std::size_t rec_bytes = 13;
+        if (!r.ok() || canon.size() != count * rec_bytes)
+            return false;
+        t->records.resize(count);
+        ByteReader rr(canon);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            TraceRecord &rec = t->records[i];
+            const std::uint8_t op = rr.u8();
+            if (op > 1)
+                return false;
+            rec.op = op ? Op::Store : Op::Load;
+            rec.addr = rr.u64();
+            rec.cta = static_cast<std::int32_t>(rr.u32()) - 1;
+        }
+        sealTrace(*t);
+        // The frame checksum guards the bytes; this guards the
+        // semantics -- a job claiming one trace must contain it.
+        if (t->contentHash != stored_hash)
+            return false;
+        out.trace = std::move(t);
+        return true;
+    }
+    case WorkloadKind::Generator: {
+        const std::uint8_t gk = r.u8();
+        if (!r.ok() || gk > static_cast<std::uint8_t>(GenKind::Stride))
+            return false;
+        out.gen.kind = static_cast<GenKind>(gk);
+        out.gen.regionBytes = r.u64();
+        out.gen.strideBytes = r.u64();
+        out.gen.insts = static_cast<int>(r.u32());
+        return r.ok();
+    }
+    }
+    return false;
+}
+
+std::unique_ptr<TraceCursor>
+makeWorkloadCursor(const WorkloadSpec &spec, int core_id,
+                   std::uint64_t cta_seq, int warp_in_cta,
+                   std::uint32_t line_bytes)
+{
+    switch (spec.kind) {
+    case WorkloadKind::Synthetic:
+        return makeSyntheticCursor(spec.profile, core_id, cta_seq,
+                                   warp_in_cta, line_bytes);
+    case WorkloadKind::Trace:
+        return std::make_unique<TraceReplayCursor>(
+            spec.trace, spec.profile.numCtas, spec.profile.warpsPerCta,
+            cta_seq, warp_in_cta, line_bytes);
+    case WorkloadKind::Generator:
+        if (spec.gen.kind == GenKind::PointerChase)
+            return std::make_unique<PointerChaseCursor>(spec.gen,
+                                                        line_bytes);
+        return std::make_unique<StrideCursor>(
+            spec.gen,
+            cta_seq * spec.profile.warpsPerCta + warp_in_cta,
+            line_bytes);
+    }
+    fatal("makeWorkloadCursor: corrupt kind %d",
+          static_cast<int>(spec.kind));
+}
+
+} // namespace bwsim

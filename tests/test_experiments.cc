@@ -46,7 +46,7 @@ TEST(Dse, RunAllPreservesOrderAndParallelismAgrees)
     std::vector<RunSpec> specs;
     for (const char *b : {"mm", "nn"}) {
         RunSpec s;
-        s.profile = shrinkProfile(*findBenchmark(b), 4);
+        s.workload = shrinkProfile(*findBenchmark(b), 4);
         s.config = GpuConfig::baseline();
         specs.push_back(s);
     }
@@ -69,8 +69,8 @@ TEST(Experiments, SelectBenchmarksSubsets)
     EXPECT_EQ(all.size(), 19u);
     auto two = selectBenchmarks(quickOpts({"mm", "sc"}));
     ASSERT_EQ(two.size(), 2u);
-    EXPECT_EQ(two[0].name, "mm");
-    EXPECT_EQ(two[1].name, "sc");
+    EXPECT_EQ(two[0].name(), "mm");
+    EXPECT_EQ(two[1].name(), "sc");
 }
 
 TEST(Experiments, BaselineFiguresWellFormed)

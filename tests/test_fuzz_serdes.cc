@@ -16,6 +16,7 @@
 #include "gpu/gpu_config.hh"
 #include "gpu/sim_result.hh"
 #include "workloads/profile.hh"
+#include "workloads/workload_spec.hh"
 
 using namespace bwsim;
 
@@ -213,6 +214,58 @@ randomConfig(Rng &rng)
     return c;
 }
 
+std::shared_ptr<const TraceData>
+randomTrace(Rng &rng)
+{
+    auto t = std::make_shared<TraceData>();
+    t->sourceName = randomString(rng, 40);
+    t->ctaTagged = rng.chance(0.5);
+    const std::size_t n = 1 + rng.below(50);
+    for (std::size_t i = 0; i < n; ++i) {
+        TraceRecord rec;
+        rec.op = rng.chance(0.5) ? Op::Store : Op::Load;
+        rec.addr = rng.next();
+        rec.cta = t->ctaTagged
+                      ? static_cast<std::int32_t>(rng.below(8))
+                      : -1;
+        t->records.push_back(rec);
+    }
+    sealTrace(*t);
+    return t;
+}
+
+WorkloadSpec
+randomWorkload(Rng &rng)
+{
+    WorkloadSpec s;
+    s.profile = randomProfile(rng);
+    switch (rng.below(3)) {
+    case 0:
+        break;
+    case 1:
+        s.kind = WorkloadKind::Trace;
+        s.trace = randomTrace(rng);
+        break;
+    default:
+        s.kind = WorkloadKind::Generator;
+        s.gen.kind = rng.chance(0.5) ? GenKind::PointerChase
+                                     : GenKind::Stride;
+        s.gen.regionBytes = rng.next();
+        s.gen.strideBytes = rng.next();
+        s.gen.insts = randomInt(rng);
+        break;
+    }
+    return s;
+}
+
+std::string
+workloadBytes(const WorkloadSpec &s)
+{
+    ByteWriter w;
+    serializeWorkload(w, s);
+    return std::move(w).take();
+}
+
 std::string
 resultBytes(const SimResult &r)
 {
@@ -378,6 +431,83 @@ TEST(FuzzSerdes, FramedBlobRoundTripsAndRejectsTampering)
             flipped[pos] ^ static_cast<char>(1 << rng.below(8)));
         EXPECT_FALSE(unframeBlob(magic, version, flipped, back))
             << "round " << i << " pos " << pos;
+    }
+}
+
+TEST(FuzzSerdes, WorkloadRoundTripsBitExact)
+{
+    Rng rng(1414);
+    for (int i = 0; i < kRounds; ++i) {
+        const WorkloadSpec orig = randomWorkload(rng);
+        const std::string bytes = workloadBytes(orig);
+        ByteReader r(bytes);
+        WorkloadSpec back;
+        ASSERT_TRUE(deserializeWorkload(r, back)) << "round " << i;
+        EXPECT_EQ(r.remaining(), 0u);
+        EXPECT_EQ(workloadBytes(back), bytes) << "round " << i;
+        EXPECT_EQ(back.cacheKey(), orig.cacheKey()) << "round " << i;
+    }
+}
+
+TEST(FuzzSerdes, WorkloadTruncationsAllRejected)
+{
+    Rng rng(1515);
+    // One spec of each kind; every prefix of its envelope must fail.
+    for (int round = 0; round < 6; ++round) {
+        const WorkloadSpec spec = randomWorkload(rng);
+        const std::string bytes = workloadBytes(spec);
+        for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+            ByteReader r(bytes.substr(0, cut));
+            WorkloadSpec back;
+            EXPECT_FALSE(deserializeWorkload(r, back))
+                << "kind " << static_cast<int>(spec.kind) << " cut "
+                << cut;
+        }
+    }
+}
+
+TEST(FuzzSerdes, TraceWorkloadPayloadFlipsAllRejected)
+{
+    // Every bit flip in the hashed payload -- the stored hash, the
+    // record count or the canonical record bytes -- must be caught by
+    // the content-hash cross-check (the frame checksum is not in play
+    // here; this is the inner envelope on its own).
+    Rng rng(1616);
+    auto trace = randomTrace(rng);
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::Trace;
+    spec.profile = randomProfile(rng);
+    spec.trace = trace;
+    const std::string bytes = workloadBytes(spec);
+    const std::size_t tail =
+        1 + profileBytes(spec.profile).size() + 4 +
+        trace->sourceName.size() + 1;
+    ASSERT_LT(tail, bytes.size());
+    for (std::size_t pos = tail; pos < bytes.size(); ++pos) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string flipped = bytes;
+            flipped[pos] =
+                static_cast<char>(flipped[pos] ^ (1 << bit));
+            ByteReader r(flipped);
+            WorkloadSpec back;
+            EXPECT_FALSE(deserializeWorkload(r, back))
+                << "pos " << pos << " bit " << bit;
+        }
+    }
+}
+
+TEST(FuzzSerdes, JobFilesCarryEveryWorkloadKind)
+{
+    Rng rng(1717);
+    for (int i = 0; i < kRounds / 2; ++i) {
+        RunSpec spec{randomWorkload(rng), randomConfig(rng)};
+        const std::string bytes = encodeJob(spec);
+        RunSpec back;
+        std::string why;
+        ASSERT_TRUE(decodeJob(bytes, back, &why))
+            << "round " << i << ": " << why;
+        EXPECT_EQ(workKeyOf(back), workKeyOf(spec)) << "round " << i;
+        EXPECT_EQ(encodeJob(back), bytes) << "round " << i;
     }
 }
 

@@ -18,6 +18,9 @@
 
 #include "core/experiments.hh"
 #include "gpu/gpu.hh"
+#include "sim/sim_speed.hh"
+#include "workloads/trace_source.hh"
+#include "workloads/workload_spec.hh"
 
 #ifndef BWSIM_GOLDEN_DIR
 #error "CMake must define BWSIM_GOLDEN_DIR (tests/golden in the source tree)"
@@ -162,7 +165,38 @@ TEST(Golden, DumpStatsBaseline)
     Gpu gpu(GpuConfig::baseline(), profiles[0]);
     gpu.run();
     std::ostringstream os;
-    os << "# stats: benchmark=" << profiles[0].name << " config=baseline\n";
+    os << "# stats: benchmark=" << profiles[0].name() << " config=baseline\n";
     gpu.dumpStats(os);
     compareOrRegen("dump_stats.txt", os.str());
+}
+
+TEST(Golden, DumpStatsTraceReplayBothSchedulers)
+{
+    // The checked-in replay.trace pins the file-backed workload path
+    // end to end: text parsing, launch-shape defaulting and the
+    // replay cursor. The same run must come out byte-identical under
+    // both scheduler modes before it is compared to the snapshot --
+    // trace replay gets no laxer determinism than synthetic runs.
+    std::string err;
+    auto trace = loadTraceFile(
+        std::string(BWSIM_GOLDEN_DIR) + "/replay.trace", err);
+    ASSERT_NE(trace, nullptr) << err;
+    const WorkloadSpec spec = makeTraceWorkload(trace);
+
+    auto dump = [&](SchedulerMode mode) {
+        const SchedulerMode saved = schedulerMode();
+        setSchedulerMode(mode);
+        Gpu gpu(GpuConfig::baseline(), spec);
+        gpu.run();
+        std::ostringstream os;
+        os << "# stats: benchmark=" << spec.name()
+           << " config=baseline\n";
+        gpu.dumpStats(os);
+        setSchedulerMode(saved);
+        return os.str();
+    };
+    const std::string lockstep = dump(SchedulerMode::Lockstep);
+    const std::string skip = dump(SchedulerMode::Skip);
+    EXPECT_EQ(lockstep, skip);
+    compareOrRegen("dump_stats_trace.txt", lockstep);
 }

@@ -344,7 +344,7 @@ TEST(SimCache, ShardFilterSkipsForeignKeysAndMergesFromDisk)
     EXPECT_EQ(merge.simsRun(), 0u);
     EXPECT_EQ(merge.diskHits(), specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i)
-        EXPECT_EQ(merged[i].benchmark, specs[i].profile.name);
+        EXPECT_EQ(merged[i].benchmark, specs[i].workload.name());
     fs::remove_all(dir);
 }
 

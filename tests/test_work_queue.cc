@@ -109,7 +109,7 @@ TEST(WorkQueueWire, JobRoundTripsProfileAndConfig)
 
     RunSpec back;
     ASSERT_TRUE(decodeJob(bytes, back));
-    EXPECT_EQ(back.profile.cacheKey(), spec.profile.cacheKey());
+    EXPECT_EQ(back.workload.cacheKey(), spec.workload.cacheKey());
     EXPECT_EQ(back.config.cacheKey(), spec.config.cacheKey());
     EXPECT_EQ(workKeyOf(back), workKeyOf(spec));
     // Decode-and-re-encode is byte-identical: the format is canonical.
@@ -236,7 +236,7 @@ TEST(WorkQueue, AbandonedClaimIsReclaimedAfterTimeout)
     // A healthy worker now finishes the sweep.
     SimCache worker_cache;
     auto results = drain(queue, {spec}, worker_cache);
-    EXPECT_EQ(results[0].benchmark, spec.profile.name);
+    EXPECT_EQ(results[0].benchmark, spec.workload.name());
 }
 
 TEST(WorkQueue, FreshClaimIsNotReclaimed)
@@ -297,7 +297,7 @@ TEST(WorkQueue, CorruptReplyIsDiscardedAndJobRedispatched)
     // The healthy path still completes the sweep.
     SimCache worker_cache;
     auto results = drain(queue, {spec}, worker_cache);
-    EXPECT_EQ(results[0].benchmark, spec.profile.name);
+    EXPECT_EQ(results[0].benchmark, spec.workload.name());
 }
 
 TEST(ClaimHeartbeat, RefreshesTheClaimMtimeUntilDestroyed)
